@@ -1,0 +1,67 @@
+// Extension bench (Section VI future work): asynchronous parameter-server
+// gradient descent. Compares the closed-form AsyncGdModel against the
+// event-driven parameter-server simulation: throughput scaling, the
+// server-NIC saturation point, and the staleness the convergence model
+// charges for.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "models/async_gd.h"
+#include "sim/param_server.h"
+
+namespace dmlscale {
+namespace {
+
+int Run() {
+  // Mid-sized model: 4e6 32-bit params, 1e9 ops per mini-batch update.
+  models::GdWorkload workload{.ops_per_example = 1e7,
+                              .batch_size = 100.0,
+                              .model_params = 4e6,
+                              .bits_per_param = 32.0};
+  core::NodeSpec node{.name = "worker", .peak_flops = 10e9, .efficiency = 1.0};
+  core::LinkSpec link{.bandwidth_bps = 1e9};
+  models::AsyncGdModel model(workload, node, link);
+
+  sim::ParamServerConfig config{
+      .ops_per_update = workload.ops_per_example * workload.batch_size,
+      .message_bits = workload.MessageBits(),
+      .node = node,
+      .worker_link = link,
+      .server_link = link,
+      .overhead = sim::OverheadModel::None(),
+      .target_updates = 400};
+
+  std::cout << "== Async parameter-server GD: model vs simulation ==\n";
+  std::cout << "Worker cycle (model): "
+            << FormatDouble(model.WorkerCycleSeconds(), 4)
+            << " s; server saturation at " << model.SaturationWorkers()
+            << " workers (model)\n\n";
+  TablePrinter table({"workers", "model upd/s", "sim upd/s",
+                      "model staleness", "sim staleness", "sim NIC util"});
+  Pcg32 rng(1);
+  for (int n : {1, 2, 4, 8, 16, 32}) {
+    auto stats = sim::SimulateParameterServer(config, n, &rng);
+    if (!stats.ok()) {
+      std::cerr << stats.status() << "\n";
+      return 1;
+    }
+    table.AddRow({std::to_string(n),
+                  FormatDouble(model.ThroughputUpdatesPerSec(n), 4),
+                  FormatDouble(stats->updates_per_sec, 4),
+                  FormatDouble(model.ExpectedStaleness(n), 4),
+                  FormatDouble(stats->mean_staleness, 4),
+                  FormatDouble(stats->server_utilization, 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nBoth stacks agree: throughput climbs linearly, then the "
+               "server NIC pins it;\npast saturation extra workers only buy "
+               "staleness — the convergence cost\nthe time-to-accuracy "
+               "ablation quantifies.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmlscale
+
+int main() { return dmlscale::Run(); }

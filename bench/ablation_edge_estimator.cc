@@ -1,0 +1,125 @@
+// Ablation: validates the Section IV-B edge-balance machinery.
+//  (a) Monte-Carlo estimate vs exact partition statistics on a
+//      materialized power-law graph (the estimator only sees degrees).
+//  (b) The analytic E_dup duplicate-edge correction vs the measured
+//      number of worker-internal edges.
+//  (c) Random vs greedy (degree-LPT) vs block partitioning.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "graph/partition.h"
+#include "graph/streaming_partition.h"
+#include "models/graphical_inference.h"
+
+namespace dmlscale {
+namespace {
+
+int Run() {
+  Pcg32 rng(11);
+  auto g = graph::BarabasiAlbert(30000, 4, &rng);
+  if (!g.ok()) {
+    std::cerr << g.status() << "\n";
+    return 1;
+  }
+  auto degrees = g->DegreeSequence();
+  double num_vertices = static_cast<double>(g->num_vertices());
+  double num_edges = static_cast<double>(g->num_edges());
+
+  std::cout << "== Ablation (a): Monte-Carlo max_i(E_i) vs measured ==\n";
+  TablePrinter mc_table({"workers", "MC estimate", "measured (exact)",
+                         "rel err %"});
+  for (int n : {2, 4, 8, 16, 32}) {
+    Pcg32 est_rng(100 + static_cast<uint64_t>(n));
+    auto estimate = models::MonteCarloEdgeBalance(degrees, n, 10, &est_rng);
+    if (!estimate.ok()) {
+      std::cerr << estimate.status() << "\n";
+      return 1;
+    }
+    double measured = 0.0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      auto partition =
+          graph::RandomPartition(g->num_vertices(), n, &rng).value();
+      auto stats = graph::ComputePartitionStats(*g, partition).value();
+      // The estimator subtracts E_dup; the exact stats count internal
+      // edges twice, so subtract the same expected correction.
+      measured += stats.max_edges -
+                  models::AnalyticDuplicateEdges(num_vertices, num_edges, n);
+    }
+    measured /= trials;
+    double rel = 100.0 * (estimate->max_edges - measured) / measured;
+    mc_table.AddRow({std::to_string(n), FormatDouble(estimate->max_edges, 6),
+                     FormatDouble(measured, 6), FormatDouble(rel, 3)});
+  }
+  mc_table.Print(std::cout);
+
+  std::cout << "\n== Ablation (b): analytic E_dup vs measured internal edges ==\n";
+  TablePrinter dup_table({"workers", "analytic E_dup", "measured internal",
+                          "rel err %"});
+  for (int n : {2, 4, 8, 16}) {
+    double analytic =
+        models::AnalyticDuplicateEdges(num_vertices, num_edges, n);
+    double measured = 0.0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+      auto partition =
+          graph::RandomPartition(g->num_vertices(), n, &rng).value();
+      auto stats = graph::ComputePartitionStats(*g, partition).value();
+      // Internal (non-cut) edges per worker, averaged.
+      measured += (num_edges - static_cast<double>(stats.cut_edges)) /
+                  static_cast<double>(n);
+    }
+    measured /= trials;
+    double rel = 100.0 * (analytic - measured) / measured;
+    dup_table.AddRow({std::to_string(n), FormatDouble(analytic, 6),
+                      FormatDouble(measured, 6), FormatDouble(rel, 3)});
+  }
+  dup_table.Print(std::cout);
+
+  std::cout << "\n== Ablation (c): partitioning strategy (max/mean edge load) ==\n";
+  TablePrinter strat_table({"workers", "random", "block", "greedy-degree",
+                            "LDG", "hybrid-hub"});
+  TablePrinter repl_table({"workers", "r random", "r block", "r greedy",
+                           "r LDG", "r hybrid"});
+  for (int n : {4, 8, 16, 32}) {
+    auto random =
+        graph::RandomPartition(g->num_vertices(), n, &rng).value();
+    auto block = graph::BlockPartition(g->num_vertices(), n).value();
+    auto greedy = graph::GreedyDegreePartition(*g, n).value();
+    auto ldg = graph::LdgStreamingPartition(*g, n).value();
+    auto hybrid = graph::HybridHubPartition(*g, n).value();
+    auto stats_of = [&](const graph::Partition& p) {
+      return graph::ComputePartitionStats(*g, p).value();
+    };
+    auto imbalance = [&](const graph::Partition& p) {
+      auto stats = stats_of(p);
+      return stats.max_edges / stats.mean_edges;
+    };
+    strat_table.AddRow({std::to_string(n), FormatDouble(imbalance(random), 4),
+                        FormatDouble(imbalance(block), 4),
+                        FormatDouble(imbalance(greedy), 4),
+                        FormatDouble(imbalance(ldg), 4),
+                        FormatDouble(imbalance(hybrid), 4)});
+    repl_table.AddRow(
+        {std::to_string(n),
+         FormatDouble(stats_of(random).replication_factor, 4),
+         FormatDouble(stats_of(block).replication_factor, 4),
+         FormatDouble(stats_of(greedy).replication_factor, 4),
+         FormatDouble(stats_of(ldg).replication_factor, 4),
+         FormatDouble(stats_of(hybrid).replication_factor, 4)});
+  }
+  strat_table.Print(std::cout);
+  std::cout << "\nReplication factor r (drives tGIcm = 32/B * r * V * S):\n";
+  repl_table.Print(std::cout);
+  std::cout << "\nGreedy degree balancing removes most of the skew the "
+               "random-assignment model predicts — the feedback-loop\n"
+               "improvement the paper's future work suggests.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmlscale
+
+int main() { return dmlscale::Run(); }

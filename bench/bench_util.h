@@ -1,0 +1,58 @@
+#ifndef DMLSCALE_BENCH_BENCH_UTIL_H_
+#define DMLSCALE_BENCH_BENCH_UTIL_H_
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/speedup.h"
+#include "core/validation.h"
+
+namespace dmlscale::bench {
+
+/// Prints a "model vs measured" speedup table in the format every figure
+/// harness uses, followed by the MAPE line the paper reports.
+inline void PrintSpeedupComparison(const std::string& title,
+                                   const core::SpeedupCurve& model,
+                                   const core::SpeedupCurve& measured) {
+  std::cout << "== " << title << " ==\n";
+  TablePrinter table({"n", "model_speedup", "measured_speedup"});
+  for (size_t i = 0; i < measured.nodes.size(); ++i) {
+    auto m = model.At(measured.nodes[i]);
+    table.AddRow({std::to_string(measured.nodes[i]),
+                  FormatDouble(m.ok() ? m.value() : -1.0, 4),
+                  FormatDouble(measured.speedup[i], 4)});
+  }
+  table.Print(std::cout);
+  auto report = core::CompareCurves(model, measured);
+  if (report.ok()) {
+    std::cout << "MAPE: " << FormatDouble(report->mape, 3) << "%  (n="
+              << report->num_points << " points)\n";
+  }
+  std::cout << "\n";
+}
+
+/// Prints a single curve (used where the paper has no measured series).
+inline void PrintCurve(const std::string& title,
+                       const core::SpeedupCurve& curve,
+                       const std::vector<double>* aux = nullptr,
+                       const std::string& aux_name = "") {
+  std::cout << "== " << title << " ==\n";
+  std::vector<std::string> headers{"n", "speedup"};
+  if (aux != nullptr) headers.push_back(aux_name);
+  TablePrinter table(headers);
+  for (size_t i = 0; i < curve.nodes.size(); ++i) {
+    std::vector<std::string> row{std::to_string(curve.nodes[i]),
+                                 FormatDouble(curve.speedup[i], 4)};
+    if (aux != nullptr) row.push_back(FormatDouble((*aux)[i], 4));
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace dmlscale::bench
+
+#endif  // DMLSCALE_BENCH_BENCH_UTIL_H_

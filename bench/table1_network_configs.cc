@@ -1,0 +1,67 @@
+// Reproduces Table I (Section V-A): parameter and computation counts for
+// the two networks, derived from layer specifications with the paper's
+// cost formulas.
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "models/neural_cost.h"
+
+namespace dmlscale {
+namespace {
+
+int Run() {
+  models::NetworkSpec mnist = models::presets::MnistFullyConnected();
+  models::NetworkSpec inception = models::presets::InceptionV3();
+  if (!mnist.Validate().ok() || !inception.Validate().ok()) {
+    std::cerr << "network specification invalid\n";
+    return 1;
+  }
+
+  std::cout << "== Table I: network configurations ==\n";
+  TablePrinter table({"Network (Task)", "Parameters", "Computations",
+                      "Paper params", "Paper computations"});
+  table.AddRow({"Fully connected (MNIST)",
+                HumanCount(static_cast<double>(mnist.TotalWeights())),
+                HumanCount(static_cast<double>(mnist.ForwardComputations())),
+                "12M", "24M"});
+  table.AddRow({"Inception v.3 (ImageNet)",
+                HumanCount(static_cast<double>(inception.TotalWeights())),
+                HumanCount(static_cast<double>(inception.ForwardComputations())),
+                "25M", "5G"});
+  table.Print(std::cout);
+
+  std::cout << "\nDerived training costs (3x forward, Section V-A):\n";
+  TablePrinter training({"Network", "Training ops/example", "Rule"});
+  training.AddRow(
+      {"Fully connected",
+       HumanCount(static_cast<double>(mnist.TrainingComputations())),
+       "6W = " + HumanCount(6.0 * static_cast<double>(mnist.TotalWeights()))});
+  training.AddRow(
+      {"Inception v.3",
+       HumanCount(static_cast<double>(inception.TrainingComputations())),
+       "3 * forward"});
+  training.Print(std::cout);
+
+  std::cout << "\nLayer-level detail, MNIST fully connected network:\n";
+  TablePrinter layers({"layer", "weights", "forward ops"});
+  int index = 0;
+  for (const auto& layer : mnist.layers()) {
+    const auto& dense = std::get<models::DenseLayerSpec>(layer);
+    layers.AddRow({"dense-" + std::to_string(index++) + " (" +
+                       std::to_string(dense.inputs) + "x" +
+                       std::to_string(dense.outputs) + ")",
+                   HumanCount(static_cast<double>(dense.Weights())),
+                   HumanCount(static_cast<double>(dense.ForwardComputations()))});
+  }
+  layers.Print(std::cout);
+  std::cout << "\nInception v3 encoded as " << inception.layers().size()
+            << " layer specs (stem + A/B/C/D/E blocks + classifier)\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace dmlscale
+
+int main() { return dmlscale::Run(); }

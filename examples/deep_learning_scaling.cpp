@@ -1,0 +1,83 @@
+// Deep-learning scaling study (Section V-A end to end): derive a network's
+// cost from its layer specification, build the gradient-descent model, and
+// compare deployment options — including the weak-scaling regime used for
+// large convolutional networks.
+//
+//   ./deep_learning_scaling [--batch=60000] [--max-nodes=32]
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/arg_parser.h"
+#include "common/table_printer.h"
+#include "core/speedup.h"
+#include "models/gradient_descent.h"
+#include "models/neural_cost.h"
+
+using namespace dmlscale;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  auto args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  double batch = args->GetDouble("batch", 60000.0);
+  int max_nodes = static_cast<int>(args->GetInt("max-nodes", 32));
+
+  // Cost of the network comes straight from the architecture.
+  models::NetworkSpec mnist = models::presets::MnistFullyConnected();
+  std::cout << "Network: " << mnist.name() << "\n"
+            << "  parameters W  = "
+            << HumanCount(static_cast<double>(mnist.TotalWeights())) << "\n"
+            << "  training ops  = "
+            << HumanCount(static_cast<double>(mnist.TrainingComputations()))
+            << " per example (6W rule)\n\n";
+
+  models::GdWorkload workload{
+      .ops_per_example = static_cast<double>(mnist.TrainingComputations()),
+      .batch_size = batch,
+      .model_params = static_cast<double>(mnist.TotalWeights()),
+      .bits_per_param = 64.0};
+  core::NodeSpec node = core::presets::XeonE3_1240Double();
+  core::LinkSpec link{.bandwidth_bps = 1e9};
+
+  models::SparkGdModel spark(workload, node, link);
+  models::GenericGdModel generic(workload, node, link);
+
+  auto spark_curve = core::SpeedupAnalyzer::Compute(spark, max_nodes);
+  auto generic_curve = core::SpeedupAnalyzer::Compute(generic, max_nodes);
+  if (!spark_curve.ok() || !generic_curve.ok()) {
+    std::cerr << "speedup computation failed\n";
+    return 1;
+  }
+
+  std::cout << "Strong scaling, batch = " << batch << ":\n";
+  TablePrinter table({"n", "spark protocol", "generic 2-tree"});
+  for (int n = 1; n <= max_nodes; n = n < 8 ? n + 1 : n * 2) {
+    table.AddRow({std::to_string(n),
+                  FormatDouble(spark_curve->At(n).value(), 4),
+                  FormatDouble(generic_curve->At(n).value(), 4)});
+  }
+  table.Print(std::cout);
+  std::cout << "Spark optimum: " << spark_curve->OptimalNodes()
+            << " workers; generic tree optimum: "
+            << generic_curve->OptimalNodes() << " workers.\n\n";
+
+  // The convolutional / weak-scaling regime.
+  models::GdWorkload inception = models::TensorFlowInceptionWorkload();
+  models::WeakScalingSgdModel weak(inception, core::presets::NvidiaK40(),
+                                   link);
+  std::cout << "Weak scaling (Inception v3, per-worker batch 128, K40s):\n";
+  TablePrinter weak_table({"workers", "per-instance speedup vs 50"});
+  double ref = weak.Seconds(50);
+  for (int n : {25, 50, 100, 200, 400}) {
+    weak_table.AddRow(
+        {std::to_string(n), FormatDouble(ref / weak.Seconds(n), 4)});
+  }
+  weak_table.Print(std::cout);
+  std::cout << "With logarithmic aggregation the per-instance speedup keeps "
+               "growing —\nadd workers freely; convergence, not throughput, "
+               "becomes the limit (Section VI).\n";
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Distributed-training demo: executes REAL data-parallel gradient descent
+// (the execution pattern the Section IV-A model describes) with the
+// in-process engine, shows that the parallel update is identical to
+// sequential batch GD, and then uses the simulator to predict what the
+// same job would cost on an actual cluster.
+//
+//   ./distributed_training_demo [--workers=4] [--examples=256]
+
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/arg_parser.h"
+#include "common/table_printer.h"
+#include "engine/dp_sgd.h"
+#include "models/gradient_descent.h"
+#include "sim/workloads.h"
+
+using namespace dmlscale;  // NOLINT: example brevity
+
+int main(int argc, char** argv) {
+  auto args = ArgParser::Parse(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    return 1;
+  }
+  int workers = static_cast<int>(args->GetInt("workers", 4));
+  int64_t examples = args->GetInt("examples", 256);
+
+  // Train a small sigmoid network on synthetic data, data-parallel.
+  Pcg32 rng(1);
+  auto data = nn::SyntheticClassification(examples, 10, 4, 0.4, &rng);
+  if (!data.ok()) {
+    std::cerr << data.status() << "\n";
+    return 1;
+  }
+  Pcg32 net_rng(2);
+  nn::Network master = nn::Network::FullyConnected({10, 24, 4}, &net_rng);
+  nn::Network sequential = master.Clone();
+  nn::SoftmaxCrossEntropyLoss loss;
+  nn::SgdOptimizer par_opt(0.5), seq_opt(0.5);
+  engine::DataParallelSgd dp(&master, workers, /*num_threads=*/workers);
+
+  std::cout << "Training 10-24-4 sigmoid network on " << examples
+            << " examples with " << workers << " data-parallel workers:\n";
+  TablePrinter table({"iteration", "parallel loss", "sequential loss"});
+  for (int iter = 0; iter < 20; ++iter) {
+    auto par = dp.TrainIteration(*data, loss, &par_opt);
+    auto seq = nn::TrainBatch(&sequential, data->features, data->targets,
+                              loss, &seq_opt);
+    if (!par.ok() || !seq.ok()) {
+      std::cerr << "training failed\n";
+      return 1;
+    }
+    if (iter % 4 == 0 || iter == 19) {
+      table.AddRow({std::to_string(iter), FormatDouble(par->loss, 6),
+                    FormatDouble(seq.value(), 6)});
+    }
+  }
+  table.Print(std::cout);
+  std::cout << "The columns match: synchronous data-parallel GD computes "
+               "the same updates\nas sequential batch GD — parallelism "
+               "changes time, not semantics.\n\n";
+
+  // What would this cost on a real cluster? Ask the models + simulator.
+  double ops = static_cast<double>(2 * master.ForwardMultiplyAddsPerExample())
+               * 3.0;  // training ~ 3x forward, ops convention
+  models::GdWorkload workload{
+      .ops_per_example = ops,
+      .batch_size = static_cast<double>(examples),
+      .model_params = static_cast<double>(master.WeightCount()),
+      .bits_per_param = 64.0};
+  core::NodeSpec node = core::presets::XeonE3_1240Double();
+  core::LinkSpec link{.bandwidth_bps = 1e9};
+  models::GenericGdModel model(workload, node, link);
+  sim::GdSimConfig config{
+      .total_ops = workload.ops_per_example * workload.batch_size,
+      .message_bits = workload.MessageBits(),
+      .node = node,
+      .link = link,
+      .overhead = sim::OverheadModel::SparkLike(),
+      .iterations = 3};
+
+  std::cout << "Cluster projection for this job (model vs simulator):\n";
+  TablePrinter projection({"n", "model t(n) s", "simulated t(n) s"});
+  Pcg32 sim_rng(3);
+  for (int n : {1, 2, 4, 8, 16}) {
+    auto sim_t = sim::SimulateSparkGdIteration(config, n, &sim_rng);
+    if (!sim_t.ok()) {
+      std::cerr << sim_t.status() << "\n";
+      return 1;
+    }
+    projection.AddRow({std::to_string(n), FormatDouble(model.Seconds(n), 6),
+                       FormatDouble(sim_t.value(), 6)});
+  }
+  projection.Print(std::cout);
+  std::cout << "This tiny network is communication-bound immediately — the "
+               "model says\nDO NOT distribute it, which is exactly the kind "
+               "of back-of-the-envelope\nconclusion the paper advocates "
+               "(Section VI).\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+#ifndef DMLSCALE_BP_ASYNC_BP_H_
+#define DMLSCALE_BP_ASYNC_BP_H_
+
+#include "bp/bp.h"
+
+namespace dmlscale::bp {
+
+/// Asynchronous (Gauss–Seidel) loopy BP: vertices are updated in sequence
+/// and each update immediately uses the freshest messages, unlike the
+/// synchronous (Jacobi) schedule of LoopyBp. On many graphs it converges
+/// in fewer sweeps — the classic accuracy/parallelism trade-off the
+/// paper's Section VI points at: the asynchronous schedule is harder to
+/// parallelize but algorithmically faster.
+///
+/// Options also support damping (new = (1-d)*new + d*old), which
+/// stabilizes strongly coupled loopy models for both schedules.
+class AsyncLoopyBp {
+ public:
+  explicit AsyncLoopyBp(const PairwiseMrf* mrf, double damping = 0.0);
+
+  /// One full boustrophedon sweep (all vertices forward, then backward);
+  /// returns the largest message change.
+  double Sweep();
+
+  /// Iterates until convergence or max_iterations.
+  BpRunResult Run(const BpOptions& options);
+
+  /// Normalized belief of one vertex.
+  std::vector<double> Belief(graph::VertexId v) const;
+
+  /// Normalized vertex beliefs, `V * S` row-major.
+  std::vector<double> Beliefs() const;
+
+ private:
+  /// One directional pass; part of Sweep().
+  double SweepDirection(bool ascending);
+
+  const PairwiseMrf* mrf_;
+  int states_;
+  double damping_;
+  std::vector<int64_t> reverse_;
+  std::vector<double> messages_;  // single buffer: in-place updates
+};
+
+}  // namespace dmlscale::bp
+
+#endif  // DMLSCALE_BP_ASYNC_BP_H_

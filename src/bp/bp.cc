@@ -1,0 +1,164 @@
+#include "bp/bp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dmlscale::bp {
+
+LoopyBp::LoopyBp(const PairwiseMrf* mrf) : mrf_(mrf) {
+  DMLSCALE_CHECK(mrf != nullptr);
+  states_ = mrf_->states();
+  const graph::Graph& g = mrf_->graph();
+  int64_t directed = 2 * g.num_edges();
+  reverse_.resize(static_cast<size_t>(directed));
+  for (graph::VertexId u = 0; u < g.num_vertices(); ++u) {
+    auto nbrs = g.Neighbors(u);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      int64_t e = g.DirectedEdgeIndex(u, static_cast<int64_t>(k));
+      auto rev = g.ReverseEdgeIndex(u, nbrs[k]);
+      DMLSCALE_CHECK_MSG(rev.ok(), "asymmetric adjacency");
+      reverse_[static_cast<size_t>(e)] = rev.value();
+    }
+  }
+  double init = 1.0 / static_cast<double>(states_);
+  messages_.assign(static_cast<size_t>(directed * states_), init);
+  next_messages_ = messages_;
+}
+
+double LoopyBp::UpdateVertex(graph::VertexId v) {
+  const graph::Graph& g = mrf_->graph();
+  auto nbrs = g.Neighbors(v);
+  double max_delta = 0.0;
+
+  // Belief-style product of incoming messages, computed once per state:
+  // prod_{w in N(v)} m_{w->v}(x_v) * unary_v(x_v); per-neighbor exclusion
+  // divides the sender's own message back out (guarded against zeros).
+  std::vector<double> incoming_product(static_cast<size_t>(states_));
+  for (int s = 0; s < states_; ++s) {
+    incoming_product[static_cast<size_t>(s)] = mrf_->Unary(v, s);
+  }
+  bool has_zero = false;
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    int64_t out_e = g.DirectedEdgeIndex(v, static_cast<int64_t>(k));
+    int64_t in_e = reverse_[static_cast<size_t>(out_e)];
+    for (int s = 0; s < states_; ++s) {
+      double m = messages_[static_cast<size_t>(in_e * states_ + s)];
+      if (m <= 1e-300) has_zero = true;
+      incoming_product[static_cast<size_t>(s)] *= m;
+    }
+  }
+
+  std::vector<double> excluded(static_cast<size_t>(states_));
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    int64_t out_e = g.DirectedEdgeIndex(v, static_cast<int64_t>(k));
+    int64_t in_e = reverse_[static_cast<size_t>(out_e)];
+
+    if (!has_zero) {
+      for (int s = 0; s < states_; ++s) {
+        excluded[static_cast<size_t>(s)] =
+            incoming_product[static_cast<size_t>(s)] /
+            messages_[static_cast<size_t>(in_e * states_ + s)];
+      }
+    } else {
+      // Rare slow path: recompute the product without neighbor k.
+      for (int s = 0; s < states_; ++s) {
+        excluded[static_cast<size_t>(s)] = mrf_->Unary(v, s);
+      }
+      for (size_t j = 0; j < nbrs.size(); ++j) {
+        if (j == k) continue;
+        int64_t other_in =
+            reverse_[static_cast<size_t>(g.DirectedEdgeIndex(
+                v, static_cast<int64_t>(j)))];
+        for (int s = 0; s < states_; ++s) {
+          excluded[static_cast<size_t>(s)] *=
+              messages_[static_cast<size_t>(other_in * states_ + s)];
+        }
+      }
+    }
+
+    // Marginalize over v's state for each target state.
+    double norm = 0.0;
+    std::vector<double> msg(static_cast<size_t>(states_), 0.0);
+    for (int t = 0; t < states_; ++t) {
+      double acc = 0.0;
+      for (int s = 0; s < states_; ++s) {
+        acc += excluded[static_cast<size_t>(s)] * mrf_->Pairwise(s, t);
+      }
+      msg[static_cast<size_t>(t)] = acc;
+      norm += acc;
+    }
+    DMLSCALE_CHECK_GT(norm, 0.0);
+    for (int t = 0; t < states_; ++t) {
+      double value = msg[static_cast<size_t>(t)] / norm;
+      size_t idx = static_cast<size_t>(out_e * states_ + t);
+      max_delta = std::max(max_delta, std::fabs(value - messages_[idx]));
+      next_messages_[idx] = value;
+    }
+  }
+  return max_delta;
+}
+
+void LoopyBp::CommitSuperstep() { std::swap(messages_, next_messages_); }
+
+double LoopyBp::Step() {
+  const graph::Graph& g = mrf_->graph();
+  double max_delta = 0.0;
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_delta = std::max(max_delta, UpdateVertex(v));
+  }
+  CommitSuperstep();
+  return max_delta;
+}
+
+BpRunResult LoopyBp::Run(const BpOptions& options) {
+  BpRunResult result;
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.final_delta = Step();
+    result.iterations = it + 1;
+    if (result.final_delta < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> LoopyBp::Beliefs() const {
+  const graph::Graph& g = mrf_->graph();
+  std::vector<double> beliefs(static_cast<size_t>(g.num_vertices()) *
+                              static_cast<size_t>(states_));
+  for (graph::VertexId v = 0; v < g.num_vertices(); ++v) {
+    std::vector<double> b = Belief(v);
+    for (int s = 0; s < states_; ++s) {
+      beliefs[static_cast<size_t>(v) * static_cast<size_t>(states_) +
+              static_cast<size_t>(s)] = b[static_cast<size_t>(s)];
+    }
+  }
+  return beliefs;
+}
+
+std::vector<double> LoopyBp::Belief(graph::VertexId v) const {
+  const graph::Graph& g = mrf_->graph();
+  std::vector<double> belief(static_cast<size_t>(states_));
+  for (int s = 0; s < states_; ++s) {
+    belief[static_cast<size_t>(s)] = mrf_->Unary(v, s);
+  }
+  auto nbrs = g.Neighbors(v);
+  for (size_t k = 0; k < nbrs.size(); ++k) {
+    int64_t in_e = reverse_[static_cast<size_t>(
+        g.DirectedEdgeIndex(v, static_cast<int64_t>(k)))];
+    for (int s = 0; s < states_; ++s) {
+      belief[static_cast<size_t>(s)] *=
+          messages_[static_cast<size_t>(in_e * states_ + s)];
+    }
+  }
+  double norm = 0.0;
+  for (double b : belief) norm += b;
+  DMLSCALE_CHECK_GT(norm, 0.0);
+  for (auto& b : belief) b /= norm;
+  return belief;
+}
+
+}  // namespace dmlscale::bp

@@ -1,0 +1,75 @@
+#ifndef DMLSCALE_BP_BP_H_
+#define DMLSCALE_BP_BP_H_
+
+#include <vector>
+
+#include "bp/mrf.h"
+
+namespace dmlscale::bp {
+
+/// Convergence options for loopy belief propagation.
+struct BpOptions {
+  int max_iterations = 100;
+  /// Converged when the largest message change in an iteration is below
+  /// this.
+  double tolerance = 1e-6;
+};
+
+/// Outcome of a BP run.
+struct BpRunResult {
+  int iterations = 0;
+  bool converged = false;
+  double final_delta = 0.0;
+};
+
+/// Synchronous loopy belief propagation on a pairwise MRF (Section V-B).
+///
+/// The two steps of the algorithm are expressed so that a partition-parallel
+/// driver can interleave them with barriers:
+///   - UpdateVertex(v) recomputes all messages *sent by* v from the current
+///     message buffer into the next buffer (the "send" step);
+///   - CommitSuperstep() swaps the buffers (the synchronization barrier).
+/// Messages about a variable with `S` states cost `c(S) = S + 2 (S + S^2)`
+/// operations per edge, the count used by the scalability model.
+class LoopyBp {
+ public:
+  explicit LoopyBp(const PairwiseMrf* mrf);
+
+  /// Recomputes the messages from `v` to each neighbor using messages
+  /// received in the previous superstep. Returns the largest absolute
+  /// change among the recomputed messages. Thread-safe across distinct
+  /// vertices within one superstep.
+  double UpdateVertex(graph::VertexId v);
+
+  /// Ends the superstep, making the new messages current.
+  void CommitSuperstep();
+
+  /// One full synchronous iteration (all vertices + commit); returns the
+  /// largest message change.
+  double Step();
+
+  /// Iterates until convergence or max_iterations.
+  BpRunResult Run(const BpOptions& options);
+
+  /// Normalized vertex beliefs, `V * S` row-major.
+  std::vector<double> Beliefs() const;
+
+  /// Normalized belief of one vertex.
+  std::vector<double> Belief(graph::VertexId v) const;
+
+  const PairwiseMrf& mrf() const { return *mrf_; }
+
+ private:
+  const PairwiseMrf* mrf_;
+  int states_;
+  /// reverse_[e] = directed-edge index of the opposite direction of e.
+  std::vector<int64_t> reverse_;
+  /// Messages indexed by directed edge: messages_[e * S + s] is the message
+  /// along e about the target's state s.
+  std::vector<double> messages_;
+  std::vector<double> next_messages_;
+};
+
+}  // namespace dmlscale::bp
+
+#endif  // DMLSCALE_BP_BP_H_

@@ -1,0 +1,64 @@
+#ifndef DMLSCALE_BP_MRF_H_
+#define DMLSCALE_BP_MRF_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dmlscale::bp {
+
+/// Pairwise Markov random field over an undirected graph (Section IV-B):
+/// each vertex holds a discrete variable with `S` states, a unary potential
+/// per vertex, and one shared symmetric pairwise potential matrix (the
+/// Ising / Potts style used in traffic-classification MRFs).
+class PairwiseMrf {
+ public:
+  /// `unary[v * S + s]` is the prior potential of state `s` at vertex `v`;
+  /// `pairwise[s1 * S + s2]` couples neighboring states. All potentials
+  /// must be strictly positive.
+  static Result<PairwiseMrf> Create(const graph::Graph* graph, int states,
+                                    std::vector<double> unary,
+                                    std::vector<double> pairwise);
+
+  /// Random MRF: unary potentials uniform in [0.5, 1.5); attractive
+  /// pairwise potential exp(+coupling) on agreement, exp(-coupling)
+  /// otherwise. `coupling` below ~1 keeps loopy BP convergent in practice.
+  static Result<PairwiseMrf> Random(const graph::Graph* graph, int states,
+                                    double coupling, Pcg32* rng);
+
+  const graph::Graph& graph() const { return *graph_; }
+  int states() const { return states_; }
+
+  double Unary(graph::VertexId v, int state) const {
+    return unary_[static_cast<size_t>(v) * static_cast<size_t>(states_) +
+                  static_cast<size_t>(state)];
+  }
+  double Pairwise(int s1, int s2) const {
+    return pairwise_[static_cast<size_t>(s1) * static_cast<size_t>(states_) +
+                     static_cast<size_t>(s2)];
+  }
+
+ private:
+  PairwiseMrf(const graph::Graph* graph, int states,
+              std::vector<double> unary, std::vector<double> pairwise)
+      : graph_(graph),
+        states_(states),
+        unary_(std::move(unary)),
+        pairwise_(std::move(pairwise)) {}
+
+  const graph::Graph* graph_;  // not owned
+  int states_;
+  std::vector<double> unary_;     // V * S
+  std::vector<double> pairwise_;  // S * S
+};
+
+/// Exact marginals by brute-force enumeration over all S^V assignments.
+/// Only feasible for tiny graphs; used as the oracle in tests (BP on trees
+/// must match it exactly).
+Result<std::vector<double>> BruteForceMarginals(const PairwiseMrf& mrf);
+
+}  // namespace dmlscale::bp
+
+#endif  // DMLSCALE_BP_MRF_H_

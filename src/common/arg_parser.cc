@@ -1,0 +1,59 @@
+#include "common/arg_parser.h"
+
+#include "common/string_util.h"
+
+namespace dmlscale {
+
+Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
+  ArgParser parser;
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (!StartsWith(arg, "--")) {
+      parser.positionals_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (arg.empty()) return Status::InvalidArgument("bare '--' argument");
+    size_t eq = arg.find('=');
+    if (eq == std::string_view::npos) {
+      parser.values_[std::string(arg)] = "true";
+    } else {
+      std::string key(arg.substr(0, eq));
+      if (key.empty()) return Status::InvalidArgument("empty flag name");
+      parser.values_[key] = std::string(arg.substr(eq + 1));
+    }
+  }
+  return parser;
+}
+
+bool ArgParser::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string ArgParser::GetString(const std::string& key,
+                                 const std::string& def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+int64_t ArgParser::GetInt(const std::string& key, int64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  auto parsed = ParseInt64(it->second);
+  return parsed.ok() ? parsed.value() : def;
+}
+
+double ArgParser::GetDouble(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  auto parsed = ParseDouble(it->second);
+  return parsed.ok() ? parsed.value() : def;
+}
+
+bool ArgParser::GetBool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+}  // namespace dmlscale

@@ -1,0 +1,49 @@
+#ifndef DMLSCALE_COMMON_BARRIER_H_
+#define DMLSCALE_COMMON_BARRIER_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace dmlscale {
+
+/// Reusable cyclic barrier for BSP-style supersteps. All `parties` threads
+/// must call Arrive() before any of them proceeds; the barrier then resets
+/// for the next superstep.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(size_t parties) : parties_(parties) {
+    DMLSCALE_CHECK_GE(parties, 1u);
+  }
+
+  CyclicBarrier(const CyclicBarrier&) = delete;
+  CyclicBarrier& operator=(const CyclicBarrier&) = delete;
+
+  /// Blocks until all parties have arrived. Returns true for exactly one
+  /// caller per generation (the "leader"), which may run a serial section.
+  bool Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t gen = generation_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [&] { return generation_ != gen; });
+    return false;
+  }
+
+ private:
+  const size_t parties_;
+  size_t waiting_ = 0;
+  size_t generation_ = 0;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_BARRIER_H_

@@ -1,0 +1,35 @@
+#ifndef DMLSCALE_COMMON_CHECK_H_
+#define DMLSCALE_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant checks for programmer errors (not data errors — those return
+/// Status). Active in all build types, like RocksDB's assert-style checks on
+/// critical paths; the cost is negligible for this library's workloads.
+#define DMLSCALE_CHECK(cond)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "[dmlscale check failed] %s at %s:%d\n", #cond, \
+                   __FILE__, __LINE__);                                   \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+#define DMLSCALE_CHECK_MSG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "[dmlscale check failed] %s (%s) at %s:%d\n",   \
+                   #cond, msg, __FILE__, __LINE__);                        \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (false)
+
+#define DMLSCALE_CHECK_GE(a, b) DMLSCALE_CHECK((a) >= (b))
+#define DMLSCALE_CHECK_GT(a, b) DMLSCALE_CHECK((a) > (b))
+#define DMLSCALE_CHECK_LE(a, b) DMLSCALE_CHECK((a) <= (b))
+#define DMLSCALE_CHECK_LT(a, b) DMLSCALE_CHECK((a) < (b))
+#define DMLSCALE_CHECK_EQ(a, b) DMLSCALE_CHECK((a) == (b))
+#define DMLSCALE_CHECK_NE(a, b) DMLSCALE_CHECK((a) != (b))
+
+#endif  // DMLSCALE_COMMON_CHECK_H_

@@ -1,0 +1,62 @@
+#include "common/csv_writer.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dmlscale {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  DMLSCALE_CHECK(!headers_.empty());
+}
+
+void CsvWriter::AddRow(std::vector<std::string> row) {
+  DMLSCALE_CHECK_EQ(row.size(), headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AddNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, 10));
+  AddRow(std::move(cells));
+}
+
+std::string CsvWriter::EscapeCell(const std::string& cell) {
+  bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream os;
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      os << EscapeCell(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(headers_);
+  for (const auto& row : rows_) write_row(row);
+  return os.str();
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToString();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace dmlscale

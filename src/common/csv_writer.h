@@ -1,0 +1,37 @@
+#ifndef DMLSCALE_COMMON_CSV_WRITER_H_
+#define DMLSCALE_COMMON_CSV_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmlscale {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file. Cells containing
+/// commas, quotes, or newlines are quoted.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Serializes headers + rows.
+  std::string ToString() const;
+
+  /// Writes the file; fails with IOError on filesystem problems.
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  static std::string EscapeCell(const std::string& cell);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_CSV_WRITER_H_

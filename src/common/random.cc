@@ -1,0 +1,72 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace dmlscale {
+
+Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
+  NextUint32();
+  state_ += seed;
+  NextUint32();
+}
+
+uint32_t Pcg32::NextUint32() {
+  uint64_t old = state_;
+  state_ = old * 6364136223846793005ULL + inc_;
+  uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+  uint32_t rot = static_cast<uint32_t>(old >> 59u);
+  return (xorshifted >> rot) | (xorshifted << ((32 - rot) & 31));
+}
+
+uint64_t Pcg32::NextUint64() {
+  uint64_t hi = NextUint32();
+  return (hi << 32) | NextUint32();
+}
+
+uint32_t Pcg32::NextBounded(uint32_t bound) {
+  DMLSCALE_CHECK_GT(bound, 0u);
+  // Lemire-style rejection to avoid modulo bias.
+  uint32_t threshold = (-bound) % bound;
+  for (;;) {
+    uint32_t r = NextUint32();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Pcg32::NextDouble() {
+  return NextUint32() * (1.0 / 4294967296.0);
+}
+
+double Pcg32::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Pcg32::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  double u2 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  cached_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  has_cached_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Pcg32::NextGaussian(double mean, double stddev) {
+  return mean + stddev * NextGaussian();
+}
+
+double Pcg32::NextLogNormal(double sigma) {
+  return std::exp(sigma * NextGaussian());
+}
+
+bool Pcg32::NextBernoulli(double p) { return NextDouble() < p; }
+
+}  // namespace dmlscale

@@ -1,0 +1,66 @@
+#ifndef DMLSCALE_COMMON_RANDOM_H_
+#define DMLSCALE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dmlscale {
+
+/// Deterministic, seedable PCG32 random generator (O'Neill 2014).
+///
+/// Used everywhere in the library instead of std::mt19937 so experiment
+/// outputs are reproducible across standard library implementations.
+class Pcg32 {
+ public:
+  /// Seeds the generator. Distinct `stream` values give independent
+  /// sequences for the same seed.
+  explicit Pcg32(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1);
+
+  /// Uniform 32-bit value.
+  uint32_t NextUint32();
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Unbiased (rejection).
+  uint32_t NextBounded(uint32_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double NextGaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev);
+
+  /// Log-normal multiplier with E[log X]=0; used for straggler jitter.
+  double NextLogNormal(double sigma);
+
+  /// True with probability `p`.
+  bool NextBernoulli(double p);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = NextBounded(static_cast<uint32_t>(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_RANDOM_H_

@@ -1,0 +1,173 @@
+#ifndef DMLSCALE_COMMON_STATUS_H_
+#define DMLSCALE_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace dmlscale {
+
+/// Error category for a failed operation. `kOk` denotes success.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kIOError,
+};
+
+/// Returns a human-readable name, e.g. "InvalidArgument".
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: either success or a code plus message.
+///
+/// The library does not throw exceptions across public API boundaries;
+/// every operation that can fail returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Either a value of type `T` or an error `Status`. Modeled after
+/// arrow::Result. Accessing the value of an errored result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit by design, mirroring
+  /// arrow::Result, so functions can `return value;`).
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Constructs an errored result from a non-OK status (implicit by design
+  /// so functions can `return Status::...;`). Aborts if `status.ok()`.
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(state_).ok()) {
+      Abort("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// Status of the operation: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Returns the value; aborts if this result holds an error.
+  const T& value() const& {
+    EnsureOk();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    EnsureOk();
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    EnsureOk();
+    return std::move(std::get<T>(state_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(state_);
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) Abort(std::get<Status>(state_).ToString());
+  }
+  [[noreturn]] static void Abort(const std::string& message);
+
+  std::variant<T, Status> state_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const std::string& message);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::Abort(const std::string& message) {
+  internal::AbortWithMessage("Result::value() on error: " + message);
+}
+
+/// Propagates a non-OK status out of the current function.
+#define DMLSCALE_RETURN_NOT_OK(expr)                 \
+  do {                                               \
+    ::dmlscale::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Assigns the value of a `Result<T>` expression to `lhs`, or propagates the
+/// error status. `lhs` must be a declaration, e.g.
+/// `DMLSCALE_ASSIGN_OR_RETURN(auto g, ReadGraph(path));`
+#define DMLSCALE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  DMLSCALE_ASSIGN_OR_RETURN_IMPL_(                         \
+      DMLSCALE_STATUS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define DMLSCALE_STATUS_CONCAT_INNER_(a, b) a##b
+#define DMLSCALE_STATUS_CONCAT_(a, b) DMLSCALE_STATUS_CONCAT_INNER_(a, b)
+#define DMLSCALE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef DMLSCALE_COMMON_STOPWATCH_H_
+#define DMLSCALE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace dmlscale {
+
+/// Wall-clock stopwatch over std::chrono::steady_clock.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_STOPWATCH_H_

@@ -1,0 +1,34 @@
+#ifndef DMLSCALE_COMMON_TABLE_PRINTER_H_
+#define DMLSCALE_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dmlscale {
+
+/// Fixed-width ASCII table used by the benchmark harnesses to print the
+/// paper's tables and figure series in a diff-friendly format.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with 4 significant digits.
+  void AddNumericRow(const std::vector<double>& row);
+
+  /// Renders the table with a header rule.
+  void Print(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_TABLE_PRINTER_H_

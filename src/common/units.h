@@ -1,0 +1,23 @@
+#ifndef DMLSCALE_COMMON_UNITS_H_
+#define DMLSCALE_COMMON_UNITS_H_
+
+namespace dmlscale {
+
+/// Unit constants used throughout the cost models. All model math is done in
+/// seconds, bits, and FLOP/s.
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Bits per IEEE-754 value; the paper's models send 32-bit states and either
+/// 32-bit or 64-bit model parameters.
+inline constexpr double kBitsPerFloat32 = 32.0;
+inline constexpr double kBitsPerFloat64 = 64.0;
+
+/// 1 Gbit/s Ethernet as used in the paper's Spark cluster (Section V-A).
+inline constexpr double kGigabitPerSecond = 1e9;
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_UNITS_H_

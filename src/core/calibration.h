@@ -1,0 +1,74 @@
+#ifndef DMLSCALE_CORE_CALIBRATION_H_
+#define DMLSCALE_CORE_CALIBRATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/superstep.h"
+
+namespace dmlscale::core {
+
+/// "Incorporating a feedback loop from experiments" (Section VI): fit a
+/// small number of scale coefficients of an analytical model to measured
+/// (n, seconds) samples, without giving up the model's structure.
+///
+/// The model is expressed as a linear combination of basis terms:
+///   t(n) = sum_k theta_k * basis_k(n)
+/// e.g. basis_0(n) = c(D)/(F n) (the uncalibrated computation term) and
+/// basis_1(n) = fcm(M, n). Coefficients near 1 mean the a-priori model was
+/// already accurate; a computation coefficient of 1.25 means the machine
+/// reaches only 80% of the assumed effective FLOPS.
+
+/// One measured sample.
+struct TimingSample {
+  int nodes = 0;
+  double seconds = 0.0;
+};
+
+/// Result of a calibration fit.
+struct CalibrationResult {
+  /// Fitted theta, one per basis term.
+  std::vector<double> coefficients;
+  /// Root-mean-square residual of the fit, seconds.
+  double rmse = 0.0;
+  /// R^2 goodness of fit (1 = perfect; can be negative for awful fits).
+  double r_squared = 0.0;
+};
+
+/// Ordinary least squares for `t(n) = sum_k theta_k basis_k(n)`.
+/// Requires at least as many samples as basis terms and a non-singular
+/// normal matrix (fails with FailedPrecondition otherwise).
+Result<CalibrationResult> FitLinearModel(
+    const std::vector<std::function<double(int)>>& basis,
+    const std::vector<TimingSample>& samples);
+
+/// An AlgorithmModel scaled by fitted coefficients.
+class CalibratedModel final : public AlgorithmModel {
+ public:
+  CalibratedModel(std::vector<std::function<double(int)>> basis,
+                  std::vector<double> coefficients,
+                  std::string label = "calibrated");
+
+  double Seconds(int n) const override;
+  std::string name() const override { return label_; }
+
+  const std::vector<double>& coefficients() const { return coefficients_; }
+
+ private:
+  std::vector<std::function<double(int)>> basis_;
+  std::vector<double> coefficients_;
+  std::string label_;
+};
+
+/// Convenience: fit the two-term (compute, comm) decomposition of a
+/// Superstep-like model and return the calibrated model.
+Result<std::unique_ptr<CalibratedModel>> CalibrateComputeComm(
+    std::function<double(int)> compute_term,
+    std::function<double(int)> comm_term,
+    const std::vector<TimingSample>& samples);
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_CALIBRATION_H_

@@ -1,0 +1,153 @@
+#include "core/communication_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+
+namespace dmlscale::core {
+
+namespace {
+void CheckArgs(double bits, const LinkSpec& link) {
+  DMLSCALE_CHECK_GE(bits, 0.0);
+  DMLSCALE_CHECK_GT(link.bandwidth_bps, 0.0);
+}
+}  // namespace
+
+double SharedMemoryComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  return 0.0;
+}
+
+LinearComm::LinearComm(double bits_per_node, LinkSpec link)
+    : bits_per_node_(bits_per_node), link_(link) {
+  CheckArgs(bits_per_node, link);
+}
+
+double LinearComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  return bits_per_node_ * n / link_.bandwidth_bps + link_.latency_s * n;
+}
+
+FixedVolumeComm::FixedVolumeComm(double bits, LinkSpec link)
+    : bits_(bits), link_(link) {
+  CheckArgs(bits, link);
+}
+
+double FixedVolumeComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  return bits_ / link_.bandwidth_bps + link_.latency_s;
+}
+
+TreeComm::TreeComm(double bits, LinkSpec link, double rounds_factor)
+    : bits_(bits), link_(link), rounds_factor_(rounds_factor) {
+  CheckArgs(bits, link);
+  DMLSCALE_CHECK_GT(rounds_factor, 0.0);
+}
+
+double TreeComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  double rounds = static_cast<double>(CeilLog2(static_cast<uint64_t>(n)));
+  return rounds_factor_ * rounds *
+         (bits_ / link_.bandwidth_bps + link_.latency_s);
+}
+
+TorrentBroadcastComm::TorrentBroadcastComm(double bits, LinkSpec link)
+    : bits_(bits), link_(link) {
+  CheckArgs(bits, link);
+}
+
+double TorrentBroadcastComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  // Continuous log2, matching the paper's `(64W/B) * log(n)` term.
+  return (bits_ / link_.bandwidth_bps) * std::log2(static_cast<double>(n)) +
+         link_.latency_s * std::log2(static_cast<double>(n));
+}
+
+TwoWaveAggregationComm::TwoWaveAggregationComm(double bits, LinkSpec link)
+    : bits_(bits), link_(link) {
+  CheckArgs(bits, link);
+}
+
+double TwoWaveAggregationComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  double waves = 2.0 * static_cast<double>(CeilSqrt(static_cast<uint64_t>(n)));
+  return waves * (bits_ / link_.bandwidth_bps + link_.latency_s);
+}
+
+RingAllReduceComm::RingAllReduceComm(double bits, LinkSpec link)
+    : bits_(bits), link_(link) {
+  CheckArgs(bits, link);
+}
+
+double RingAllReduceComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  double dn = static_cast<double>(n);
+  return 2.0 * (bits_ / link_.bandwidth_bps) * (dn - 1.0) / dn +
+         2.0 * (dn - 1.0) * link_.latency_s;
+}
+
+RecursiveDoublingComm::RecursiveDoublingComm(double bits, LinkSpec link)
+    : bits_(bits), link_(link) {
+  CheckArgs(bits, link);
+}
+
+double RecursiveDoublingComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  double rounds = static_cast<double>(CeilLog2(static_cast<uint64_t>(n)));
+  return rounds * (bits_ / link_.bandwidth_bps + link_.latency_s);
+}
+
+ShuffleComm::ShuffleComm(double bits_total, LinkSpec link)
+    : bits_total_(bits_total), link_(link) {
+  CheckArgs(bits_total, link);
+}
+
+double ShuffleComm::Seconds(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return 0.0;
+  double dn = static_cast<double>(n);
+  // Each node sends (n-1)/n of its bits_total/n share over one NIC.
+  double per_node_bits = (bits_total_ / dn) * (dn - 1.0) / dn;
+  return per_node_bits / link_.bandwidth_bps + link_.latency_s;
+}
+
+CompositeComm::CompositeComm(
+    std::vector<std::unique_ptr<CommunicationModel>> stages)
+    : stages_(std::move(stages)) {
+  DMLSCALE_CHECK(!stages_.empty());
+}
+
+double CompositeComm::Seconds(int n) const {
+  double total = 0.0;
+  for (const auto& stage : stages_) total += stage->Seconds(n);
+  return total;
+}
+
+std::string CompositeComm::name() const {
+  std::string out = "composite(";
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += "+";
+    out += stages_[i]->name();
+  }
+  out += ")";
+  return out;
+}
+
+std::unique_ptr<CompositeComm> CompositeComm::Of(
+    std::unique_ptr<CommunicationModel> a,
+    std::unique_ptr<CommunicationModel> b) {
+  std::vector<std::unique_ptr<CommunicationModel>> stages;
+  stages.push_back(std::move(a));
+  stages.push_back(std::move(b));
+  return std::make_unique<CompositeComm>(std::move(stages));
+}
+
+}  // namespace dmlscale::core

@@ -1,0 +1,168 @@
+#ifndef DMLSCALE_CORE_COMMUNICATION_MODEL_H_
+#define DMLSCALE_CORE_COMMUNICATION_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/hardware.h"
+
+namespace dmlscale::core {
+
+/// Communication time complexity `tcm = fcm(M, n)` (Section III). Each
+/// subclass fixes the shape of `fcm` for one medium / collective topology;
+/// the message volume `M` is captured at construction.
+///
+/// All models return 0 for n == 1 (nothing to communicate) and are expressed
+/// in seconds given a link specification.
+class CommunicationModel {
+ public:
+  virtual ~CommunicationModel() = default;
+
+  /// Time in seconds for the collective to complete on `n` >= 1 nodes.
+  virtual double Seconds(int n) const = 0;
+
+  /// Human-readable topology name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// No communication at all — e.g. the shared-memory assumption of the
+/// paper's belief-propagation experiment (Section V-B).
+class SharedMemoryComm final : public CommunicationModel {
+ public:
+  double Seconds(int n) const override;
+  std::string name() const override { return "shared-memory"; }
+};
+
+/// Linear (sequential) gather/scatter through a single master:
+/// `tcm = (bits * n) / B`. This is the "linear communication architecture"
+/// of Sparks et al. the paper contrasts against (Sections II, V-A).
+class LinearComm final : public CommunicationModel {
+ public:
+  /// `bits_per_node`: data each node exchanges with the master.
+  LinearComm(double bits_per_node, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "linear"; }
+
+ private:
+  double bits_per_node_;
+  LinkSpec link_;
+};
+
+/// One fixed-size transfer whose duration does not depend on `n`:
+/// `tcm = bits / B` for n > 1. Used for the graphical-model replication
+/// traffic `32/B * r * V * S` (Section IV-B).
+class FixedVolumeComm final : public CommunicationModel {
+ public:
+  FixedVolumeComm(double bits, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "fixed-volume"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+};
+
+/// Tree-structured collective: `tcm = (bits / B) * ceil(log2(n))`.
+/// `rounds_factor` scales the number of traversals; the paper's generic
+/// gradient-descent model uses 2 (scatter + gather, Section IV-A).
+class TreeComm final : public CommunicationModel {
+ public:
+  TreeComm(double bits, LinkSpec link, double rounds_factor = 1.0);
+  double Seconds(int n) const override;
+  std::string name() const override { return "tree-log"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+  double rounds_factor_;
+};
+
+/// Spark's torrent-like broadcast: `tcm = (bits / B) * log2(n)` with a
+/// continuous logarithm (blocks pipeline among peers, Section V-A).
+class TorrentBroadcastComm final : public CommunicationModel {
+ public:
+  TorrentBroadcastComm(double bits, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "torrent-broadcast"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+};
+
+/// Spark's two-wave aggregation: the first wave reduces over ceil(sqrt(n))
+/// groups, the second over the rest: `tcm = 2 * (bits / B) * ceil(sqrt(n))`
+/// (Section V-A).
+class TwoWaveAggregationComm final : public CommunicationModel {
+ public:
+  TwoWaveAggregationComm(double bits, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "two-wave-sqrt"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+};
+
+/// Ring all-reduce (MPI style): `tcm = 2 * (bits / B) * (n - 1) / n`.
+/// Included as the bandwidth-optimal baseline the ablation compares against.
+class RingAllReduceComm final : public CommunicationModel {
+ public:
+  RingAllReduceComm(double bits, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "ring-allreduce"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+};
+
+/// Recursive-doubling (butterfly) all-reduce: ceil(log2(n)) rounds, each
+/// exchanging the full payload pairwise: `tcm = (bits / B) * ceil(log2 n)`.
+/// Latency-optimal where the ring is bandwidth-optimal; MPI picks between
+/// the two by message size.
+class RecursiveDoublingComm final : public CommunicationModel {
+ public:
+  RecursiveDoublingComm(double bits, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "recursive-doubling"; }
+
+ private:
+  double bits_;
+  LinkSpec link_;
+};
+
+/// MapReduce/Spark shuffle: every node exchanges `bits_total / n` with every
+/// other node over its single NIC: `tcm = (bits_total / B) * (n - 1) / n`.
+class ShuffleComm final : public CommunicationModel {
+ public:
+  ShuffleComm(double bits_total, LinkSpec link);
+  double Seconds(int n) const override;
+  std::string name() const override { return "shuffle"; }
+
+ private:
+  double bits_total_;
+  LinkSpec link_;
+};
+
+/// Sum of stages, e.g. Spark gradient descent = torrent broadcast followed
+/// by two-wave aggregation (Section V-A).
+class CompositeComm final : public CommunicationModel {
+ public:
+  explicit CompositeComm(std::vector<std::unique_ptr<CommunicationModel>> stages);
+  double Seconds(int n) const override;
+  std::string name() const override;
+
+  /// Builder-style helper.
+  static std::unique_ptr<CompositeComm> Of(
+      std::unique_ptr<CommunicationModel> a,
+      std::unique_ptr<CommunicationModel> b);
+
+ private:
+  std::vector<std::unique_ptr<CommunicationModel>> stages_;
+};
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_COMMUNICATION_MODEL_H_

@@ -1,0 +1,73 @@
+#ifndef DMLSCALE_CORE_COMPUTATION_MODEL_H_
+#define DMLSCALE_CORE_COMPUTATION_MODEL_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/hardware.h"
+
+namespace dmlscale::core {
+
+/// Computation time complexity `tcp = c(D) / n` (Section III): work is
+/// perfectly divisible across `n` homogeneous nodes of effective throughput
+/// `F`.
+class ComputationModel {
+ public:
+  virtual ~ComputationModel() = default;
+
+  /// Per-superstep computation time, seconds, on `n` >= 1 nodes.
+  virtual double Seconds(int n) const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The canonical data-parallel form: `tcp = total_flops / (F * n)`.
+class PerfectlyParallelCompute final : public ComputationModel {
+ public:
+  /// `total_flops`: c(D), the work of one superstep on the whole input.
+  PerfectlyParallelCompute(double total_flops, NodeSpec node);
+  double Seconds(int n) const override;
+  std::string name() const override { return "perfectly-parallel"; }
+
+  double total_flops() const { return total_flops_; }
+
+ private:
+  double total_flops_;
+  NodeSpec node_;
+};
+
+/// Imbalanced parallel computation: the slowest worker dominates, as in the
+/// graphical-inference model `tcp = max_i(E_i) * c(S) / F` (Section IV-B).
+/// `max_share(n)` returns the largest per-worker work share in FLOPs.
+class BottleneckCompute final : public ComputationModel {
+ public:
+  BottleneckCompute(std::function<double(int)> max_share_flops, NodeSpec node,
+                    std::string label = "bottleneck");
+  double Seconds(int n) const override;
+  std::string name() const override { return label_; }
+
+ private:
+  std::function<double(int)> max_share_flops_;
+  NodeSpec node_;
+  std::string label_;
+};
+
+/// Amdahl-style computation with a serial fraction `f`:
+/// `tcp = (f + (1-f)/n) * total_flops / F`. Included to study the framework
+/// overhead treated as a sequential step by Sparks et al. (Section II).
+class AmdahlCompute final : public ComputationModel {
+ public:
+  AmdahlCompute(double total_flops, double serial_fraction, NodeSpec node);
+  double Seconds(int n) const override;
+  std::string name() const override { return "amdahl"; }
+
+ private:
+  double total_flops_;
+  double serial_fraction_;
+  NodeSpec node_;
+};
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_COMPUTATION_MODEL_H_

@@ -1,0 +1,71 @@
+#include "core/cost.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "core/speedup.h"
+
+namespace dmlscale::core {
+
+int CostCurve::CheapestNodes() const {
+  DMLSCALE_CHECK(!nodes.empty());
+  size_t best = 0;
+  for (size_t i = 1; i < node_seconds.size(); ++i) {
+    if (node_seconds[i] < node_seconds[best]) best = i;
+  }
+  return nodes[best];
+}
+
+Result<CostCurve> ComputeCost(const AlgorithmModel& model, int max_nodes) {
+  if (max_nodes < 1) return Status::InvalidArgument("max_nodes must be >= 1");
+  CostCurve curve;
+  for (int n = 1; n <= max_nodes; ++n) {
+    double t = model.Seconds(n);
+    if (t <= 0.0) {
+      return Status::FailedPrecondition("model time must be positive");
+    }
+    curve.nodes.push_back(n);
+    curve.node_seconds.push_back(static_cast<double>(n) * t);
+  }
+  return curve;
+}
+
+Result<int> CheapestWithinDeadline(const AlgorithmModel& model, int max_nodes,
+                                   double deadline_seconds) {
+  if (deadline_seconds <= 0.0) {
+    return Status::InvalidArgument("deadline must be positive");
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(CostCurve curve, ComputeCost(model, max_nodes));
+  int best = -1;
+  double best_cost = 0.0;
+  for (size_t i = 0; i < curve.nodes.size(); ++i) {
+    int n = curve.nodes[i];
+    if (model.Seconds(n) > deadline_seconds) continue;
+    if (best < 0 || curve.node_seconds[i] < best_cost) {
+      best = n;
+      best_cost = curve.node_seconds[i];
+    }
+  }
+  if (best < 0) {
+    return Status::NotFound("no node count meets the deadline");
+  }
+  return best;
+}
+
+Result<int> MaxNodesAtEfficiency(const AlgorithmModel& model, int max_nodes,
+                                 double min_efficiency) {
+  if (min_efficiency <= 0.0 || min_efficiency > 1.0) {
+    return Status::InvalidArgument("min_efficiency must be in (0, 1]");
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(SpeedupCurve curve,
+                            SpeedupAnalyzer::Compute(model, max_nodes));
+  auto efficiency = curve.Efficiency();
+  int best = -1;
+  for (size_t i = 0; i < curve.nodes.size(); ++i) {
+    if (efficiency[i] >= min_efficiency) best = curve.nodes[i];
+  }
+  if (best < 0) return Status::NotFound("no node count meets the efficiency");
+  return best;
+}
+
+}  // namespace dmlscale::core

@@ -1,0 +1,44 @@
+#ifndef DMLSCALE_CORE_COST_H_
+#define DMLSCALE_CORE_COST_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/superstep.h"
+
+namespace dmlscale::core {
+
+/// Resource-cost analysis complementing pure speedup: running `n` nodes
+/// for `t(n)` seconds consumes `n * t(n)` node-seconds (proportional to a
+/// cloud bill). The speedup-optimal point is rarely the cost-optimal one —
+/// the practical trade-off behind the paper's "save time and costs"
+/// motivation (Section IV).
+struct CostCurve {
+  std::vector<int> nodes;
+  /// Node-seconds per unit of work at each n.
+  std::vector<double> node_seconds;
+
+  /// n minimizing node-seconds (usually 1 for sub-linear speedups unless
+  /// there is superlinear territory; with a budget constraint see below).
+  int CheapestNodes() const;
+};
+
+/// Computes `n * t(n)` over [1, max_nodes].
+Result<CostCurve> ComputeCost(const AlgorithmModel& model, int max_nodes);
+
+/// The cheapest node count whose run time meets `deadline_seconds`;
+/// NotFound when no n within max_nodes meets the deadline. This is the
+/// planner query practitioners actually pay for: "fastest is too
+/// expensive, what is the cheapest config that is fast enough?"
+Result<int> CheapestWithinDeadline(const AlgorithmModel& model, int max_nodes,
+                                   double deadline_seconds);
+
+/// Iso-efficiency style diagnostic: the largest n whose parallel
+/// efficiency `s(n)/n` stays at or above `min_efficiency`; NotFound if
+/// even n = 1 fails (cannot happen for positive times).
+Result<int> MaxNodesAtEfficiency(const AlgorithmModel& model, int max_nodes,
+                                 double min_efficiency);
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_COST_H_

@@ -1,0 +1,83 @@
+#ifndef DMLSCALE_CORE_HARDWARE_H_
+#define DMLSCALE_CORE_HARDWARE_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dmlscale::core {
+
+/// A homogeneous compute node, described by peak FLOP/s and the fraction of
+/// peak that is reachable in practice. The paper assumes 80% of peak for the
+/// Xeon E3-1240 and 50% for the nVidia K40 (Section V-A).
+struct NodeSpec {
+  std::string name;
+  /// Peak floating-point throughput, FLOP/s.
+  double peak_flops = 0.0;
+  /// Achievable fraction of peak in [0, 1].
+  double efficiency = 1.0;
+
+  /// Effective throughput `F` used in the models: peak * efficiency.
+  double EffectiveFlops() const { return peak_flops * efficiency; }
+
+  /// Validates that the specification is physically meaningful.
+  Status Validate() const;
+};
+
+/// Point-to-point interconnect between nodes.
+struct LinkSpec {
+  /// Bandwidth `B`, bit/s.
+  double bandwidth_bps = 0.0;
+  /// One-way message latency, seconds. The paper's closed-form models set
+  /// this to zero; the discrete-event simulator can use a non-zero value.
+  double latency_s = 0.0;
+
+  Status Validate() const;
+};
+
+/// A cluster of `max_nodes` homogeneous nodes joined by identical links.
+/// `shared_memory` marks configurations like the paper's 80-core DL980 where
+/// communication cost is assumed negligible (Section V-B).
+struct ClusterSpec {
+  NodeSpec node;
+  LinkSpec link;
+  int max_nodes = 1;
+  bool shared_memory = false;
+
+  Status Validate() const;
+};
+
+/// Hardware presets matching the paper's experimental platforms.
+namespace presets {
+
+/// Intel Xeon E3-1240: 211.2 GFLOPS single-precision peak, 80% achievable,
+/// 1 Gbit/s network (the paper's Spark cluster, Section V-A).
+NodeSpec XeonE3_1240();
+
+/// The same Xeon at double precision: 105.6 GFLOPS peak, 80% achievable —
+/// the `F = 0.8 * 105.6e9` the paper plugs into the Fig. 2 model (Spark's
+/// ANN implementation is 64-bit).
+NodeSpec XeonE3_1240Double();
+
+/// nVidia K40: 4.28 TFLOPS peak, 50% achievable (the paper's TensorFlow
+/// experiment, after Chen et al., Section V-A).
+NodeSpec NvidiaK40();
+
+/// HP ProLiant DL980: 80 cores at 1.9 GHz, shared memory (Section V-B).
+/// Per-core FLOP/s; F cancels out of shared-memory speedups.
+NodeSpec Dl980Core();
+
+/// The Spark cluster of Section V-A: Xeon nodes, 1 Gbit/s Ethernet.
+ClusterSpec SparkCluster(int max_nodes = 16);
+
+/// The GPU cluster of Section V-A: K40 nodes, 1 Gbit/s interconnect.
+ClusterSpec GpuCluster(int max_nodes = 200);
+
+/// The shared-memory server of Section V-B with 80 workers.
+ClusterSpec SharedMemoryServer(int max_workers = 80);
+
+}  // namespace presets
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_HARDWARE_H_

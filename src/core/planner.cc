@@ -1,0 +1,61 @@
+#include "core/planner.h"
+
+#include "common/check.h"
+
+namespace dmlscale::core {
+
+CapacityPlanner::CapacityPlanner(ScalableTimeFn time_fn, int max_nodes)
+    : time_fn_(std::move(time_fn)), max_nodes_(max_nodes) {
+  DMLSCALE_CHECK(time_fn_ != nullptr);
+  DMLSCALE_CHECK_GE(max_nodes_, 1);
+}
+
+Result<int> CapacityPlanner::NodesToSpeedUp(int current_nodes,
+                                            double factor) const {
+  if (current_nodes < 1 || current_nodes > max_nodes_) {
+    return Status::InvalidArgument("current_nodes out of range");
+  }
+  if (factor <= 0.0) return Status::InvalidArgument("factor must be > 0");
+  double target = time_fn_(current_nodes, 1.0) / factor;
+  return NodesForTargetTime(target);
+}
+
+Result<int> CapacityPlanner::NodesForTargetTime(double target_seconds) const {
+  if (target_seconds <= 0.0) {
+    return Status::InvalidArgument("target time must be > 0");
+  }
+  for (int n = 1; n <= max_nodes_; ++n) {
+    if (time_fn_(n, 1.0) <= target_seconds) return n;
+  }
+  return Status::NotFound("no node count within " +
+                          std::to_string(max_nodes_) +
+                          " reaches the target time");
+}
+
+Result<int> CapacityPlanner::NodesForWorkloadGrowth(int current_nodes,
+                                                    double growth) const {
+  if (current_nodes < 1 || current_nodes > max_nodes_) {
+    return Status::InvalidArgument("current_nodes out of range");
+  }
+  if (growth <= 0.0) return Status::InvalidArgument("growth must be > 0");
+  double current_time = time_fn_(current_nodes, 1.0);
+  for (int n = current_nodes; n <= max_nodes_; ++n) {
+    if (time_fn_(n, growth) <= current_time) return n;
+  }
+  return Status::NotFound("growth cannot be absorbed within max_nodes");
+}
+
+int CapacityPlanner::OptimalNodes() const {
+  int best = 1;
+  double best_time = time_fn_(1, 1.0);
+  for (int n = 2; n <= max_nodes_; ++n) {
+    double t = time_fn_(n, 1.0);
+    if (t < best_time) {
+      best_time = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace dmlscale::core

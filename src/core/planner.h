@@ -1,0 +1,44 @@
+#ifndef DMLSCALE_CORE_PLANNER_H_
+#define DMLSCALE_CORE_PLANNER_H_
+
+#include "common/status.h"
+#include "core/scaling.h"
+
+namespace dmlscale::core {
+
+/// Answers the two practitioner questions from the paper's introduction:
+///
+///  (1) Given a workload, how many more machines are needed to decrease the
+///      run time by a certain amount? (strong scaling)
+///  (2) Given an increasing workload, how many more machines are needed to
+///      keep the run time the same? (weak scaling)
+class CapacityPlanner {
+ public:
+  /// `time_fn(n, data_scale)` as in ScalableTimeFn; `max_nodes` bounds the
+  /// search.
+  CapacityPlanner(ScalableTimeFn time_fn, int max_nodes);
+
+  /// Question 1: smallest `n` whose time is <= `t(current_nodes) / factor`.
+  /// Fails with NotFound when no n within max_nodes achieves the target
+  /// (e.g. past the communication-bound peak).
+  Result<int> NodesToSpeedUp(int current_nodes, double factor) const;
+
+  /// Smallest `n` with `t(n) <= target_seconds`; NotFound when impossible.
+  Result<int> NodesForTargetTime(double target_seconds) const;
+
+  /// Question 2: smallest `n` such that the time on the `growth`-times
+  /// larger input is <= the current time on `current_nodes`. NotFound when
+  /// even max_nodes cannot absorb the growth.
+  Result<int> NodesForWorkloadGrowth(int current_nodes, double growth) const;
+
+  /// The node count with the minimum absolute run time (the speedup peak).
+  int OptimalNodes() const;
+
+ private:
+  ScalableTimeFn time_fn_;
+  int max_nodes_;
+};
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_PLANNER_H_

@@ -1,0 +1,54 @@
+#include "core/scaling.h"
+
+#include "common/check.h"
+#include "core/superstep.h"
+
+namespace dmlscale::core {
+
+StrongScalingStudy::StrongScalingStudy(ScalableTimeFn time_fn)
+    : time_fn_(std::move(time_fn)) {
+  DMLSCALE_CHECK(time_fn_ != nullptr);
+}
+
+Result<SpeedupCurve> StrongScalingStudy::Speedup(int max_nodes) const {
+  FunctionModel model([this](int n) { return time_fn_(n, 1.0); },
+                      "strong-scaling");
+  return SpeedupAnalyzer::Compute(model, max_nodes, /*reference_n=*/1);
+}
+
+WeakScalingStudy::WeakScalingStudy(ScalableTimeFn time_fn)
+    : time_fn_(std::move(time_fn)) {
+  DMLSCALE_CHECK(time_fn_ != nullptr);
+}
+
+Result<SpeedupCurve> WeakScalingStudy::PerInstanceSpeedup(
+    const std::vector<int>& nodes, int reference_n) const {
+  FunctionModel per_instance(
+      [this](int n) {
+        return time_fn_(n, static_cast<double>(n)) / static_cast<double>(n);
+      },
+      "weak-scaling-per-instance");
+  return SpeedupAnalyzer::ComputeAt(per_instance, nodes, reference_n);
+}
+
+Result<SpeedupCurve> WeakScalingStudy::ScaledSpeedup(int max_nodes) const {
+  if (max_nodes < 1) return Status::InvalidArgument("max_nodes must be >= 1");
+  double t1 = time_fn_(1, 1.0);
+  if (t1 <= 0.0) {
+    return Status::FailedPrecondition("t(1,1) must be positive");
+  }
+  SpeedupCurve curve;
+  curve.reference_n = 1;
+  for (int n = 1; n <= max_nodes; ++n) {
+    double tn = time_fn_(n, static_cast<double>(n));
+    if (tn <= 0.0) {
+      return Status::FailedPrecondition("t(n,n) must be positive at n=" +
+                                        std::to_string(n));
+    }
+    curve.nodes.push_back(n);
+    curve.speedup.push_back(static_cast<double>(n) * t1 / tn);
+  }
+  return curve;
+}
+
+}  // namespace dmlscale::core

@@ -1,0 +1,52 @@
+#ifndef DMLSCALE_CORE_SCALING_H_
+#define DMLSCALE_CORE_SCALING_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "core/speedup.h"
+
+namespace dmlscale::core {
+
+/// A family of algorithm time models parameterized by the input scale
+/// (Section III): `Time(n, data_scale)` is the time on `n` nodes when the
+/// input size is `data_scale` times the baseline `D`.
+using ScalableTimeFn = std::function<double(int n, double data_scale)>;
+
+/// Strong scaling: fixed input size `D`, varying node count (Section III).
+class StrongScalingStudy {
+ public:
+  explicit StrongScalingStudy(ScalableTimeFn time_fn);
+
+  /// Speedup curve `s(n) = t(1, 1) / t(n, 1)` for n in [1, max_nodes].
+  Result<SpeedupCurve> Speedup(int max_nodes) const;
+
+ private:
+  ScalableTimeFn time_fn_;
+};
+
+/// Weak scaling: the input grows proportionally with the node count
+/// (Section III). Following Section V-A, effectiveness is measured as the
+/// speedup of processing one instance: with `n` nodes the input is `n * D`,
+/// and per-instance time is `t(n, n) / n`.
+class WeakScalingStudy {
+ public:
+  explicit WeakScalingStudy(ScalableTimeFn time_fn);
+
+  /// Per-instance speedup relative to `reference_n` nodes, as in Fig. 3.
+  Result<SpeedupCurve> PerInstanceSpeedup(const std::vector<int>& nodes,
+                                          int reference_n) const;
+
+  /// Gustafson-style scaled speedup: `n * t(1,1) / t(n,n)` — how much more
+  /// work completes per unit time with n nodes on an n-times larger input.
+  Result<SpeedupCurve> ScaledSpeedup(int max_nodes) const;
+
+ private:
+  ScalableTimeFn time_fn_;
+};
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_SCALING_H_

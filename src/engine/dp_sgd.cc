@@ -1,0 +1,91 @@
+#include "engine/dp_sgd.h"
+
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "engine/parallel_for.h"
+
+namespace dmlscale::engine {
+
+DataParallelSgd::DataParallelSgd(nn::Network* master, int num_workers,
+                                 int num_threads)
+    : master_(master), pool_(static_cast<size_t>(std::max(num_threads, 1))) {
+  DMLSCALE_CHECK(master != nullptr);
+  DMLSCALE_CHECK_GE(num_workers, 1);
+  replicas_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) {
+    replicas_.push_back(master->Clone());
+  }
+}
+
+Result<DpSgdIterationResult> DataParallelSgd::TrainIteration(
+    const nn::Dataset& batch, const nn::Loss& loss,
+    nn::SgdOptimizer* optimizer) {
+  if (optimizer == nullptr) return Status::InvalidArgument("null optimizer");
+  int64_t examples = batch.num_examples();
+  if (examples < 1) return Status::InvalidArgument("empty batch");
+  int workers = num_workers();
+
+  // Broadcast: replicas receive the master's current parameters.
+  for (auto& replica : replicas_) {
+    DMLSCALE_RETURN_NOT_OK(replica.CopyParametersFrom(*master_));
+    replica.ZeroGradients();
+  }
+
+  // Parallel gradient computation on shards.
+  std::vector<double> shard_loss(static_cast<size_t>(workers), 0.0);
+  std::vector<double> shard_weight(static_cast<size_t>(workers), 0.0);
+  std::vector<Status> shard_status(static_cast<size_t>(workers));
+  Stopwatch watch;
+  ParallelFor(&pool_, 0, examples, workers,
+              [&](int shard, int64_t begin, int64_t end) {
+                if (begin >= end) return;
+                auto slice = batch.Slice(begin, end);
+                if (!slice.ok()) {
+                  shard_status[static_cast<size_t>(shard)] = slice.status();
+                  return;
+                }
+                auto result = replicas_[static_cast<size_t>(shard)]
+                                  .ComputeGradients(slice->features,
+                                                    slice->targets, loss);
+                if (!result.ok()) {
+                  shard_status[static_cast<size_t>(shard)] = result.status();
+                  return;
+                }
+                shard_loss[static_cast<size_t>(shard)] = result.value();
+                shard_weight[static_cast<size_t>(shard)] =
+                    static_cast<double>(end - begin);
+              });
+  double gradient_seconds = watch.ElapsedSeconds();
+  for (const Status& status : shard_status) {
+    DMLSCALE_RETURN_NOT_OK(status);
+  }
+
+  // Aggregate: sum replica gradients into the master, in worker order for
+  // determinism. Each replica's loss gradient is averaged over its own
+  // shard, so rescale by shard/batch before summing.
+  master_->ZeroGradients();
+  DpSgdIterationResult result;
+  result.gradient_seconds = gradient_seconds;
+  auto master_grads = master_->Gradients();
+  for (int w = 0; w < workers; ++w) {
+    double weight = shard_weight[static_cast<size_t>(w)] /
+                    static_cast<double>(examples);
+    if (weight == 0.0) continue;
+    auto replica_grads = replicas_[static_cast<size_t>(w)].Gradients();
+    if (replica_grads.size() != master_grads.size()) {
+      return Status::Internal("replica gradient arity mismatch");
+    }
+    for (size_t g = 0; g < master_grads.size(); ++g) {
+      nn::Tensor scaled = *replica_grads[g];
+      scaled.Scale(weight);
+      DMLSCALE_RETURN_NOT_OK(master_grads[g]->AddInPlace(scaled));
+    }
+    result.loss += shard_loss[static_cast<size_t>(w)] * weight;
+  }
+
+  // Master update; next iteration's broadcast sends the new parameters.
+  DMLSCALE_RETURN_NOT_OK(optimizer->Step(master_));
+  return result;
+}
+
+}  // namespace dmlscale::engine

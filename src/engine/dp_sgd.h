@@ -1,0 +1,52 @@
+#ifndef DMLSCALE_ENGINE_DP_SGD_H_
+#define DMLSCALE_ENGINE_DP_SGD_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "nn/data.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace dmlscale::engine {
+
+/// Result of one data-parallel training iteration.
+struct DpSgdIterationResult {
+  double loss = 0.0;
+  /// Wall-clock seconds of the parallel gradient phase (informational; on a
+  /// single-core host this does not demonstrate speedup — the simulator
+  /// substrate is used for timing studies, per DESIGN.md).
+  double gradient_seconds = 0.0;
+};
+
+/// Data-parallel synchronous gradient descent, the execution pattern whose
+/// time the paper's Section IV-A model predicts: the batch is sharded
+/// across `num_workers` replicas, each computes gradients on its shard in
+/// parallel, gradients are aggregated ("collected to the master node"),
+/// one SGD step is applied, and updated parameters are copied back to the
+/// replicas ("broadcast").
+class DataParallelSgd {
+ public:
+  /// `master` must outlive this object. Creates `num_workers` replicas.
+  DataParallelSgd(nn::Network* master, int num_workers, int num_threads);
+
+  /// Runs one synchronous iteration over `batch`. The resulting parameter
+  /// update is bit-for-bit identical to sequential batch gradient descent
+  /// on the same batch (verified by tests), because gradient sums are
+  /// accumulated in worker order.
+  Result<DpSgdIterationResult> TrainIteration(const nn::Dataset& batch,
+                                              const nn::Loss& loss,
+                                              nn::SgdOptimizer* optimizer);
+
+  int num_workers() const { return static_cast<int>(replicas_.size()); }
+
+ private:
+  nn::Network* master_;  // not owned
+  std::vector<nn::Network> replicas_;
+  ThreadPool pool_;
+};
+
+}  // namespace dmlscale::engine
+
+#endif  // DMLSCALE_ENGINE_DP_SGD_H_

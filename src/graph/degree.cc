@@ -1,0 +1,43 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+
+#include "common/math_util.h"
+
+namespace dmlscale::graph {
+
+DegreeStats ComputeDegreeStats(const std::vector<int64_t>& degrees) {
+  DegreeStats stats;
+  if (degrees.empty()) return stats;
+  std::vector<double> as_double(degrees.begin(), degrees.end());
+  stats.min_degree = *std::min_element(degrees.begin(), degrees.end());
+  stats.max_degree = *std::max_element(degrees.begin(), degrees.end());
+  stats.mean_degree = Mean(as_double);
+  stats.stddev_degree = StdDev(as_double);
+  stats.gini = Gini(as_double);
+  stats.p99_degree = Percentile(as_double, 99.0);
+  return stats;
+}
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  return ComputeDegreeStats(graph.DegreeSequence());
+}
+
+std::vector<int64_t> DegreeHistogramLog2(const std::vector<int64_t>& degrees) {
+  std::vector<int64_t> histogram;
+  for (int64_t d : degrees) {
+    int bucket = 0;
+    int64_t v = d;
+    while (v > 1) {
+      v >>= 1;
+      ++bucket;
+    }
+    if (static_cast<size_t>(bucket) >= histogram.size()) {
+      histogram.resize(static_cast<size_t>(bucket) + 1, 0);
+    }
+    ++histogram[static_cast<size_t>(bucket)];
+  }
+  return histogram;
+}
+
+}  // namespace dmlscale::graph

@@ -1,0 +1,36 @@
+#ifndef DMLSCALE_GRAPH_DEGREE_H_
+#define DMLSCALE_GRAPH_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+
+/// Summary statistics of a degree sequence, used to characterize the skew
+/// that drives the per-worker edge imbalance of Section IV-B.
+struct DegreeStats {
+  int64_t min_degree = 0;
+  int64_t max_degree = 0;
+  double mean_degree = 0.0;
+  double stddev_degree = 0.0;
+  /// Gini coefficient of the degree distribution (0 = uniform).
+  double gini = 0.0;
+  /// 99th percentile degree.
+  double p99_degree = 0.0;
+};
+
+/// Computes statistics from a degree sequence.
+DegreeStats ComputeDegreeStats(const std::vector<int64_t>& degrees);
+
+/// Convenience overload for a graph.
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Histogram of degrees in log2 buckets: bucket k counts vertices with
+/// degree in [2^k, 2^(k+1)).
+std::vector<int64_t> DegreeHistogramLog2(const std::vector<int64_t>& degrees);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_DEGREE_H_

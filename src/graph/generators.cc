@@ -1,0 +1,217 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+namespace dmlscale::graph {
+
+Result<Graph> ErdosRenyi(VertexId num_vertices, int64_t num_edges,
+                         Pcg32* rng) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  int64_t max_possible = num_vertices * (num_vertices - 1) / 2;
+  if (num_edges < 0 || num_edges > max_possible) {
+    return Status::InvalidArgument("edge count out of range");
+  }
+  GraphBuilder builder(num_vertices);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  while (static_cast<int64_t>(seen.size()) < num_edges) {
+    VertexId u = rng->NextBounded(static_cast<uint32_t>(num_vertices));
+    VertexId v = rng->NextBounded(static_cast<uint32_t>(num_vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    DMLSCALE_RETURN_NOT_OK(builder.AddEdge(u, v));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> BarabasiAlbert(VertexId num_vertices, int64_t edges_per_vertex,
+                             Pcg32* rng) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  if (edges_per_vertex < 1 || edges_per_vertex >= num_vertices) {
+    return Status::InvalidArgument("edges_per_vertex out of range");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  GraphBuilder builder(num_vertices);
+  // Endpoint pool: picking a uniform element is preferential attachment.
+  std::vector<VertexId> pool;
+  pool.reserve(static_cast<size_t>(2 * edges_per_vertex * num_vertices));
+
+  // Seed clique over the first m+1 vertices.
+  VertexId seed = edges_per_vertex + 1;
+  for (VertexId u = 0; u < seed; ++u) {
+    for (VertexId v = u + 1; v < seed; ++v) {
+      DMLSCALE_RETURN_NOT_OK(builder.AddEdge(u, v));
+      pool.push_back(u);
+      pool.push_back(v);
+    }
+  }
+  for (VertexId v = seed; v < num_vertices; ++v) {
+    std::set<VertexId> chosen;
+    while (static_cast<int64_t>(chosen.size()) < edges_per_vertex) {
+      VertexId t =
+          pool[rng->NextBounded(static_cast<uint32_t>(pool.size()))];
+      if (t == v) continue;
+      chosen.insert(t);
+    }
+    for (VertexId t : chosen) {
+      DMLSCALE_RETURN_NOT_OK(builder.AddEdge(v, t));
+      pool.push_back(v);
+      pool.push_back(t);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> RMat(int scale, int64_t num_edges, double a, double b, double c,
+                   double d, Pcg32* rng) {
+  if (scale < 1 || scale > 30) {
+    return Status::InvalidArgument("scale must be in [1, 30]");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  double sum = a + b + c + d;
+  if (a < 0 || b < 0 || c < 0 || d < 0 || std::fabs(sum - 1.0) > 1e-9) {
+    return Status::InvalidArgument("probabilities must be >= 0 and sum to 1");
+  }
+  VertexId num_vertices = VertexId{1} << scale;
+  GraphBuilder builder(num_vertices);
+  std::set<std::pair<VertexId, VertexId>> seen;
+  int64_t attempts = 0;
+  const int64_t max_attempts = num_edges * 50 + 1000;
+  while (static_cast<int64_t>(seen.size()) < num_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    VertexId u = 0, v = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double r = rng->NextDouble();
+      int quadrant = r < a ? 0 : (r < a + b ? 1 : (r < a + b + c ? 2 : 3));
+      u = (u << 1) | (quadrant >> 1);
+      v = (v << 1) | (quadrant & 1);
+    }
+    if (u == v) continue;
+    VertexId lo = std::min(u, v), hi = std::max(u, v);
+    if (!seen.insert({lo, hi}).second) continue;
+    DMLSCALE_RETURN_NOT_OK(builder.AddEdge(lo, hi));
+  }
+  if (static_cast<int64_t>(seen.size()) < num_edges) {
+    return Status::FailedPrecondition(
+        "R-MAT could not place the requested number of distinct edges");
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> Grid2d(int64_t rows, int64_t cols) {
+  if (rows < 1 || cols < 1) {
+    return Status::InvalidArgument("grid dims must be >= 1");
+  }
+  VertexId num_vertices = rows * cols;
+  if (num_vertices < 2) return Status::InvalidArgument("grid too small");
+  GraphBuilder builder(num_vertices);
+  auto id = [cols](int64_t r, int64_t c) { return r * cols + c; };
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        DMLSCALE_RETURN_NOT_OK(builder.AddEdge(id(r, c), id(r, c + 1)));
+      }
+      if (r + 1 < rows) {
+        DMLSCALE_RETURN_NOT_OK(builder.AddEdge(id(r, c), id(r + 1, c)));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> Star(VertexId num_vertices) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    DMLSCALE_RETURN_NOT_OK(builder.AddEdge(0, v));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> Complete(VertexId num_vertices) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  if (num_vertices > 4096) {
+    return Status::InvalidArgument("complete graph too large");
+  }
+  GraphBuilder builder(num_vertices);
+  for (VertexId u = 0; u < num_vertices; ++u) {
+    for (VertexId v = u + 1; v < num_vertices; ++v) {
+      DMLSCALE_RETURN_NOT_OK(builder.AddEdge(u, v));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> Chain(VertexId num_vertices) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 0; v + 1 < num_vertices; ++v) {
+    DMLSCALE_RETURN_NOT_OK(builder.AddEdge(v, v + 1));
+  }
+  return std::move(builder).Build();
+}
+
+Result<Graph> BinaryTree(VertexId num_vertices) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  GraphBuilder builder(num_vertices);
+  for (VertexId v = 1; v < num_vertices; ++v) {
+    DMLSCALE_RETURN_NOT_OK(builder.AddEdge((v - 1) / 2, v));
+  }
+  return std::move(builder).Build();
+}
+
+Result<std::vector<int64_t>> PowerLawDegreeSequence(int64_t num_vertices,
+                                                    int64_t target_edges,
+                                                    double alpha,
+                                                    int64_t min_degree,
+                                                    int64_t max_degree,
+                                                    Pcg32* rng) {
+  if (num_vertices < 2) return Status::InvalidArgument("need >= 2 vertices");
+  if (alpha <= 1.0) return Status::InvalidArgument("alpha must be > 1");
+  if (min_degree < 0 || max_degree < min_degree) {
+    return Status::InvalidArgument("invalid degree bounds");
+  }
+  if (target_edges < 0) {
+    return Status::InvalidArgument("target_edges must be >= 0");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  // Inverse-CDF sampling of a bounded Pareto distribution.
+  std::vector<int64_t> degrees(static_cast<size_t>(num_vertices));
+  double lo = static_cast<double>(std::max<int64_t>(min_degree, 1));
+  double hi = static_cast<double>(max_degree);
+  double one_minus_alpha = 1.0 - alpha;
+  double lo_pow = std::pow(lo, one_minus_alpha);
+  double hi_pow = std::pow(hi, one_minus_alpha);
+  double sum = 0.0;
+  for (auto& d : degrees) {
+    double u = rng->NextDouble();
+    double x = std::pow(lo_pow + u * (hi_pow - lo_pow), 1.0 / one_minus_alpha);
+    d = static_cast<int64_t>(std::llround(x));
+    d = std::clamp(d, min_degree, max_degree);
+    sum += static_cast<double>(d);
+  }
+  // Rescale to hit 2 * target_edges in expectation, preserving the max.
+  double target_sum = 2.0 * static_cast<double>(target_edges);
+  if (sum > 0.0 && target_sum > 0.0) {
+    double scale = target_sum / sum;
+    for (auto& d : degrees) {
+      double scaled = static_cast<double>(d) * scale;
+      d = std::clamp(static_cast<int64_t>(std::llround(scaled)), min_degree,
+                     max_degree);
+    }
+    // Pin the largest entry to max_degree so the sequence matches the
+    // published maximum (the DNS graph's 309,368).
+    auto it = std::max_element(degrees.begin(), degrees.end());
+    *it = max_degree;
+  }
+  return degrees;
+}
+
+}  // namespace dmlscale::graph

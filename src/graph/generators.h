@@ -1,0 +1,61 @@
+#ifndef DMLSCALE_GRAPH_GENERATORS_H_
+#define DMLSCALE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+
+/// Synthetic graph generators. The paper's belief-propagation experiments
+/// use a proprietary DNS-traffic graph (16.2M vertices, 99.8M edges, max
+/// degree 309,368); these generators produce graphs with matched size and
+/// skew, per the substitution documented in DESIGN.md.
+
+/// G(V, E): `num_edges` distinct uniform random edges.
+Result<Graph> ErdosRenyi(VertexId num_vertices, int64_t num_edges, Pcg32* rng);
+
+/// Preferential attachment; each new vertex attaches `edges_per_vertex`
+/// edges to existing vertices with probability proportional to degree.
+/// Produces a power-law degree distribution like real traffic graphs.
+Result<Graph> BarabasiAlbert(VertexId num_vertices, int64_t edges_per_vertex,
+                             Pcg32* rng);
+
+/// R-MAT (Chakrabarti et al.) with partition probabilities a, b, c, d
+/// (a+b+c+d = 1). `scale` gives 2^scale vertices.
+Result<Graph> RMat(int scale, int64_t num_edges, double a, double b, double c,
+                   double d, Pcg32* rng);
+
+/// 2D grid (rows x cols), the classic loopy-BP benchmark topology.
+Result<Graph> Grid2d(int64_t rows, int64_t cols);
+
+/// Star: vertex 0 connected to all others (worst-case degree skew).
+Result<Graph> Star(VertexId num_vertices);
+
+/// Complete graph K_V (small V only).
+Result<Graph> Complete(VertexId num_vertices);
+
+/// Path 0-1-2-...-(V-1); BP is exact on it.
+Result<Graph> Chain(VertexId num_vertices);
+
+/// Balanced binary tree on V vertices; BP is exact on it.
+Result<Graph> BinaryTree(VertexId num_vertices);
+
+/// Samples a power-law degree sequence with exponent `alpha` (> 1), minimum
+/// degree `min_degree` and maximum `max_degree`, scaled so the sum is close
+/// to `2 * target_edges`. Used to model the paper's 16M-vertex DNS graph
+/// without materializing it (only degrees are needed by the Monte-Carlo
+/// edge-balance estimator).
+Result<std::vector<int64_t>> PowerLawDegreeSequence(int64_t num_vertices,
+                                                    int64_t target_edges,
+                                                    double alpha,
+                                                    int64_t min_degree,
+                                                    int64_t max_degree,
+                                                    Pcg32* rng);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_GENERATORS_H_

@@ -1,0 +1,57 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace dmlscale::graph {
+
+Status WriteEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# vertices " << graph.num_vertices() << "\n";
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) out << u << " " << v << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  if (!std::getline(in, line)) return Status::IOError("empty file: " + path);
+  std::istringstream header(line);
+  std::string hash, word;
+  int64_t num_vertices = 0;
+  header >> hash >> word >> num_vertices;
+  if (hash != "#" || word != "vertices" || num_vertices < 0) {
+    return Status::InvalidArgument("missing '# vertices <V>' header");
+  }
+  GraphBuilder builder(num_vertices);
+  int64_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::istringstream fields{std::string(stripped)};
+    int64_t u = -1, v = -1;
+    if (!(fields >> u >> v)) {
+      return Status::InvalidArgument("malformed edge at line " +
+                                     std::to_string(line_no));
+    }
+    Status added = builder.AddEdge(u, v);
+    if (!added.ok()) {
+      return Status::InvalidArgument("bad edge at line " +
+                                     std::to_string(line_no) + ": " +
+                                     added.ToString());
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace dmlscale::graph

@@ -1,0 +1,22 @@
+#ifndef DMLSCALE_GRAPH_IO_H_
+#define DMLSCALE_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+
+/// Writes a graph as a whitespace-separated edge list with a
+/// "# vertices <V>" header line. Each undirected edge appears once.
+Status WriteEdgeList(const Graph& graph, const std::string& path);
+
+/// Reads the format written by WriteEdgeList. Lines starting with '#' other
+/// than the header are comments. Fails with IOError / InvalidArgument on
+/// malformed input.
+Result<Graph> ReadEdgeList(const std::string& path);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_IO_H_

@@ -1,0 +1,109 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+
+namespace dmlscale::graph {
+
+Status Partition::Validate() const {
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  for (int part : assignment) {
+    if (part < 0 || part >= num_parts) {
+      return Status::InvalidArgument("assignment out of range");
+    }
+  }
+  return Status::OK();
+}
+
+Result<Partition> RandomPartition(VertexId num_vertices, int num_parts,
+                                  Pcg32* rng) {
+  if (num_vertices < 1) return Status::InvalidArgument("empty vertex set");
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.resize(static_cast<size_t>(num_vertices));
+  for (auto& part : partition.assignment) {
+    part = static_cast<int>(rng->NextBounded(static_cast<uint32_t>(num_parts)));
+  }
+  return partition;
+}
+
+Result<Partition> BlockPartition(VertexId num_vertices, int num_parts) {
+  if (num_vertices < 1) return Status::InvalidArgument("empty vertex set");
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.resize(static_cast<size_t>(num_vertices));
+  int64_t chunk = (num_vertices + num_parts - 1) / num_parts;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    partition.assignment[static_cast<size_t>(v)] =
+        static_cast<int>(v / chunk);
+  }
+  return partition;
+}
+
+Result<Partition> GreedyDegreePartition(const Graph& graph, int num_parts) {
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  VertexId num_vertices = graph.num_vertices();
+  if (num_vertices < 1) return Status::InvalidArgument("empty graph");
+
+  std::vector<VertexId> order(static_cast<size_t>(num_vertices));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&graph](VertexId a, VertexId b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.resize(static_cast<size_t>(num_vertices));
+  std::vector<int64_t> load(static_cast<size_t>(num_parts), 0);
+  for (VertexId v : order) {
+    int lightest = static_cast<int>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    partition.assignment[static_cast<size_t>(v)] = lightest;
+    load[static_cast<size_t>(lightest)] += graph.Degree(v);
+  }
+  return partition;
+}
+
+Result<PartitionStats> ComputePartitionStats(const Graph& graph,
+                                             const Partition& partition) {
+  DMLSCALE_RETURN_NOT_OK(partition.Validate());
+  if (static_cast<VertexId>(partition.assignment.size()) !=
+      graph.num_vertices()) {
+    return Status::InvalidArgument("partition size != num_vertices");
+  }
+  PartitionStats stats;
+  stats.edges_per_worker.assign(static_cast<size_t>(partition.num_parts), 0.0);
+
+  int64_t replicated_transfers = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    int part = partition.assignment[static_cast<size_t>(v)];
+    stats.edges_per_worker[static_cast<size_t>(part)] +=
+        static_cast<double>(graph.Degree(v));
+    std::set<int> remote_parts;
+    for (VertexId u : graph.Neighbors(v)) {
+      int upart = partition.assignment[static_cast<size_t>(u)];
+      if (upart != part) {
+        remote_parts.insert(upart);
+        if (u > v) ++stats.cut_edges;  // count each cut edge once
+      }
+    }
+    replicated_transfers += static_cast<int64_t>(remote_parts.size());
+  }
+  stats.max_edges = *std::max_element(stats.edges_per_worker.begin(),
+                                      stats.edges_per_worker.end());
+  stats.mean_edges =
+      std::accumulate(stats.edges_per_worker.begin(),
+                      stats.edges_per_worker.end(), 0.0) /
+      static_cast<double>(partition.num_parts);
+  stats.replication_factor = static_cast<double>(replicated_transfers) /
+                             static_cast<double>(graph.num_vertices());
+  return stats;
+}
+
+}  // namespace dmlscale::graph

@@ -1,0 +1,57 @@
+#ifndef DMLSCALE_GRAPH_PARTITION_H_
+#define DMLSCALE_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+
+/// A vertex partition: `assignment[v]` is the worker of vertex v, in
+/// [0, num_parts).
+struct Partition {
+  std::vector<int> assignment;
+  int num_parts = 0;
+
+  Status Validate() const;
+};
+
+/// Uniform random vertex assignment — the strategy modeled by the paper's
+/// Monte-Carlo estimator (Section IV-B).
+Result<Partition> RandomPartition(VertexId num_vertices, int num_parts,
+                                  Pcg32* rng);
+
+/// Contiguous ranges of vertex ids (the default in many graph frameworks).
+Result<Partition> BlockPartition(VertexId num_vertices, int num_parts);
+
+/// Longest-processing-time greedy balancing on vertex degree: vertices in
+/// decreasing degree order go to the currently lightest worker. A
+/// lower-imbalance baseline the ablation compares against random assignment.
+Result<Partition> GreedyDegreePartition(const Graph& graph, int num_parts);
+
+/// Statistics of a partition under the paper's cost accounting.
+struct PartitionStats {
+  /// Per-worker edge work `E_i`: sum of degrees of the worker's vertices
+  /// (cut edges counted on both sides, internal edges twice), matching the
+  /// accounting of Section IV-B.
+  std::vector<double> edges_per_worker;
+  double max_edges = 0.0;
+  double mean_edges = 0.0;
+  /// Edges whose endpoints live on different workers.
+  int64_t cut_edges = 0;
+  /// Replication factor `r`: the average number of remote workers a
+  /// vertex's value must be replicated to, so the per-superstep
+  /// communication volume is `r * V * S` state values (Section IV-B).
+  double replication_factor = 0.0;
+};
+
+/// Computes exact partition statistics by scanning the graph.
+Result<PartitionStats> ComputePartitionStats(const Graph& graph,
+                                             const Partition& partition);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_PARTITION_H_

@@ -1,0 +1,112 @@
+#include "graph/streaming_partition.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace dmlscale::graph {
+
+namespace {
+
+/// Picks the LDG-best part for `v` given current placements and loads.
+int PickLdgPart(const Graph& graph, VertexId v,
+                const std::vector<int>& assignment,
+                const std::vector<int64_t>& load, double capacity,
+                int num_parts) {
+  std::vector<double> neighbor_count(static_cast<size_t>(num_parts), 0.0);
+  for (VertexId u : graph.Neighbors(v)) {
+    int part = assignment[static_cast<size_t>(u)];
+    if (part >= 0) neighbor_count[static_cast<size_t>(part)] += 1.0;
+  }
+  int best = 0;
+  double best_score = -1.0;
+  for (int p = 0; p < num_parts; ++p) {
+    double penalty =
+        1.0 - static_cast<double>(load[static_cast<size_t>(p)]) / capacity;
+    double score = neighbor_count[static_cast<size_t>(p)] * penalty;
+    // Tie-break toward the lighter part for balance.
+    if (score > best_score ||
+        (score == best_score &&
+         load[static_cast<size_t>(p)] < load[static_cast<size_t>(best)])) {
+      best = p;
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Result<Partition> LdgStreamingPartition(const Graph& graph, int num_parts) {
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  VertexId num_vertices = graph.num_vertices();
+  if (num_vertices < 1) return Status::InvalidArgument("empty graph");
+
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.assign(static_cast<size_t>(num_vertices), -1);
+  std::vector<int64_t> load(static_cast<size_t>(num_parts), 0);
+  double capacity = std::ceil(static_cast<double>(num_vertices) /
+                              static_cast<double>(num_parts)) +
+                    1.0;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    int part = PickLdgPart(graph, v, partition.assignment, load, capacity,
+                           num_parts);
+    partition.assignment[static_cast<size_t>(v)] = part;
+    ++load[static_cast<size_t>(part)];
+  }
+  return partition;
+}
+
+Result<Partition> HybridHubPartition(const Graph& graph, int num_parts,
+                                     double hub_percentile) {
+  if (num_parts < 1) return Status::InvalidArgument("num_parts must be >= 1");
+  if (hub_percentile <= 0.0 || hub_percentile >= 100.0) {
+    return Status::InvalidArgument("hub_percentile must be in (0, 100)");
+  }
+  VertexId num_vertices = graph.num_vertices();
+  if (num_vertices < 1) return Status::InvalidArgument("empty graph");
+
+  auto degrees = graph.DegreeSequence();
+  std::vector<double> as_double(degrees.begin(), degrees.end());
+  double threshold = Percentile(as_double, hub_percentile);
+
+  Partition partition;
+  partition.num_parts = num_parts;
+  partition.assignment.assign(static_cast<size_t>(num_vertices), -1);
+  std::vector<int64_t> load(static_cast<size_t>(num_parts), 0);
+  std::vector<int64_t> edge_load(static_cast<size_t>(num_parts), 0);
+  double capacity = std::ceil(static_cast<double>(num_vertices) /
+                              static_cast<double>(num_parts)) +
+                    1.0;
+
+  // Pass 1: spread hubs by edge mass (LPT greedy).
+  std::vector<VertexId> hubs;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (static_cast<double>(graph.Degree(v)) > threshold) hubs.push_back(v);
+  }
+  std::sort(hubs.begin(), hubs.end(), [&graph](VertexId a, VertexId b) {
+    return graph.Degree(a) > graph.Degree(b);
+  });
+  for (VertexId v : hubs) {
+    int lightest = static_cast<int>(
+        std::min_element(edge_load.begin(), edge_load.end()) -
+        edge_load.begin());
+    partition.assignment[static_cast<size_t>(v)] = lightest;
+    ++load[static_cast<size_t>(lightest)];
+    edge_load[static_cast<size_t>(lightest)] += graph.Degree(v);
+  }
+
+  // Pass 2: LDG for the rest.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    if (partition.assignment[static_cast<size_t>(v)] >= 0) continue;
+    int part = PickLdgPart(graph, v, partition.assignment, load, capacity,
+                           num_parts);
+    partition.assignment[static_cast<size_t>(v)] = part;
+    ++load[static_cast<size_t>(part)];
+  }
+  return partition;
+}
+
+}  // namespace dmlscale::graph

@@ -1,0 +1,25 @@
+#ifndef DMLSCALE_GRAPH_STREAMING_PARTITION_H_
+#define DMLSCALE_GRAPH_STREAMING_PARTITION_H_
+
+#include "graph/partition.h"
+
+namespace dmlscale::graph {
+
+/// Linear Deterministic Greedy (LDG, Stanton & Kliot 2012) streaming
+/// vertex partitioner: vertices arrive in id order; each goes to the part
+/// with the most already-placed neighbors, discounted by a capacity
+/// penalty (1 - |part| / capacity). A one-pass, practical improvement over
+/// random assignment — the "feedback from experiments" direction the
+/// paper's future work motivates: better placement reduces both the
+/// replication factor and the edge-balance skew of Section IV-B.
+Result<Partition> LdgStreamingPartition(const Graph& graph, int num_parts);
+
+/// Degree-threshold hybrid: high-degree vertices (above `hub_percentile`
+/// of the degree distribution) are spread round-robin to balance edge
+/// mass; the rest go through LDG for locality.
+Result<Partition> HybridHubPartition(const Graph& graph, int num_parts,
+                                     double hub_percentile = 99.0);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_STREAMING_PARTITION_H_

@@ -1,0 +1,87 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace dmlscale::graph {
+
+Result<std::vector<int64_t>> BfsDistances(const Graph& graph,
+                                          VertexId source) {
+  if (source < 0 || source >= graph.num_vertices()) {
+    return Status::OutOfRange("source out of range");
+  }
+  std::vector<int64_t> distance(static_cast<size_t>(graph.num_vertices()),
+                                -1);
+  std::queue<VertexId> frontier;
+  distance[static_cast<size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    VertexId v = frontier.front();
+    frontier.pop();
+    for (VertexId u : graph.Neighbors(v)) {
+      if (distance[static_cast<size_t>(u)] < 0) {
+        distance[static_cast<size_t>(u)] =
+            distance[static_cast<size_t>(v)] + 1;
+        frontier.push(u);
+      }
+    }
+  }
+  return distance;
+}
+
+std::vector<int> ConnectedComponents(const Graph& graph) {
+  std::vector<int> label(static_cast<size_t>(graph.num_vertices()), -1);
+  int next_label = 0;
+  std::queue<VertexId> frontier;
+  for (VertexId start = 0; start < graph.num_vertices(); ++start) {
+    if (label[static_cast<size_t>(start)] >= 0) continue;
+    label[static_cast<size_t>(start)] = next_label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      VertexId v = frontier.front();
+      frontier.pop();
+      for (VertexId u : graph.Neighbors(v)) {
+        if (label[static_cast<size_t>(u)] < 0) {
+          label[static_cast<size_t>(u)] = next_label;
+          frontier.push(u);
+        }
+      }
+    }
+    ++next_label;
+  }
+  return label;
+}
+
+int NumConnectedComponents(const Graph& graph) {
+  auto labels = ConnectedComponents(graph);
+  if (labels.empty()) return 0;
+  return *std::max_element(labels.begin(), labels.end()) + 1;
+}
+
+bool IsConnected(const Graph& graph) {
+  if (graph.num_vertices() == 0) return false;
+  return NumConnectedComponents(graph) == 1;
+}
+
+Result<int64_t> PseudoDiameter(const Graph& graph) {
+  if (graph.num_vertices() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(auto first, BfsDistances(graph, 0));
+  VertexId farthest = 0;
+  int64_t best = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    int64_t d = first[static_cast<size_t>(v)];
+    if (d < 0) return Status::FailedPrecondition("graph is disconnected");
+    if (d > best) {
+      best = d;
+      farthest = v;
+    }
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(auto second, BfsDistances(graph, farthest));
+  int64_t diameter = 0;
+  for (int64_t d : second) diameter = std::max(diameter, d);
+  return diameter;
+}
+
+}  // namespace dmlscale::graph

@@ -1,0 +1,30 @@
+#ifndef DMLSCALE_GRAPH_TRAVERSAL_H_
+#define DMLSCALE_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+
+/// Breadth-first distances from `source`; unreachable vertices get -1.
+Result<std::vector<int64_t>> BfsDistances(const Graph& graph, VertexId source);
+
+/// Connected-component label per vertex, labels dense in [0, k).
+std::vector<int> ConnectedComponents(const Graph& graph);
+
+/// Number of connected components.
+int NumConnectedComponents(const Graph& graph);
+
+/// True when every vertex is reachable from vertex 0 (and V > 0).
+bool IsConnected(const Graph& graph);
+
+/// Lower bound on the diameter via a double BFS sweep (exact on trees).
+/// Fails on a disconnected graph.
+Result<int64_t> PseudoDiameter(const Graph& graph);
+
+}  // namespace dmlscale::graph
+
+#endif  // DMLSCALE_GRAPH_TRAVERSAL_H_

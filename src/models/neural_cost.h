@@ -1,0 +1,122 @@
+#ifndef DMLSCALE_MODELS_NEURAL_COST_H_
+#define DMLSCALE_MODELS_NEURAL_COST_H_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmlscale::models {
+
+/// Cost calculators for neural-network architectures (Section V-A): number
+/// of trainable weights and "multiply-add" computations per forward pass.
+/// These feed the gradient-descent scalability model: `W` determines the
+/// communication volume, `C ~ 3 * forward` the computation complexity.
+
+/// A fully connected layer with `inputs x outputs` weights.
+struct DenseLayerSpec {
+  int64_t inputs = 0;
+  int64_t outputs = 0;
+  /// Whether a bias vector is added (adds `outputs` weights).
+  bool bias = false;
+
+  /// Weight count: inputs * outputs (+ outputs when biased).
+  int64_t Weights() const;
+  /// Forward operations, following the paper's dense convention of
+  /// `2 * w_i` per layer ("two matrix multiplications per each network
+  /// layer", Section V-A) — multiply and add counted separately.
+  int64_t ForwardComputations() const;
+
+  Status Validate() const;
+};
+
+/// A square convolutional layer following the paper's parameterization:
+/// `n` feature maps of size `k x k`, input of side `l` and depth `d`,
+/// border (padding) `b`, stride `s`. The output side is
+/// `c = (l - k + b) / s + 1` with integer division (Section V-A).
+struct ConvLayerSpec {
+  int64_t num_maps = 0;   // n
+  int64_t kernel = 0;     // k (kernel height; also width when kernel_w == 0)
+  int64_t input_side = 0; // l
+  int64_t depth = 0;      // d
+  int64_t border = 0;     // b
+  int64_t stride = 1;     // s
+  /// Kernel width for factorized (rectangular) convolutions such as
+  /// Inception v3's 1x7 / 7x1 layers; 0 means square (the paper's
+  /// parameterization). The output side is computed from `kernel`;
+  /// rectangular layers here are padded to preserve the side.
+  int64_t kernel_w = 0;
+  /// Per-map bias of size c*c; "not commonly used" per the paper.
+  bool bias = false;
+
+  /// Effective kernel width (kernel_w, or kernel when square).
+  int64_t KernelWidth() const { return kernel_w == 0 ? kernel : kernel_w; }
+
+  /// Output side `c`.
+  int64_t OutputSide() const;
+  /// Weights: n * (k*k*d) (+ c*c when biased, per the paper's convention).
+  int64_t Weights() const;
+  /// Forward multiply-adds: n * (k*k*d * c*c), the paper's convolutional
+  /// cost formula (Section V-A). Note the asymmetry with the dense
+  /// convention — conv operations are fused multiply-adds; this matches
+  /// how Table I's 5e9 figure for Inception v3 is derived.
+  int64_t ForwardComputations() const;
+
+  Status Validate() const;
+};
+
+using LayerSpec = std::variant<DenseLayerSpec, ConvLayerSpec>;
+
+/// An architecture as a list of layers.
+class NetworkSpec {
+ public:
+  NetworkSpec(std::string name, std::vector<LayerSpec> layers);
+
+  /// Builds a fully connected network from layer sizes, e.g.
+  /// {784, 2500, ..., 10}.
+  static NetworkSpec FullyConnected(std::string name,
+                                    const std::vector<int64_t>& sizes,
+                                    bool bias = false);
+
+  /// Total trainable weights `W`.
+  int64_t TotalWeights() const;
+
+  /// Operations of one forward pass — the "Computations" column of
+  /// Table I (24e6 for the MNIST network = 2W, ~5e9 for Inception v3).
+  int64_t ForwardComputations() const;
+
+  /// Training operations per example: forward pass, error back
+  /// propagation, and gradient computation each cost one
+  /// forward-equivalent, so 3x forward — the `6W` rule for dense networks
+  /// and `C = 3 * 5e9` for Inception v3 (Section V-A).
+  int64_t TrainingComputations() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+};
+
+namespace presets {
+
+/// The paper's MNIST network (Table I): five hidden layers
+/// 2500-2000-1500-1000-500 with 784 inputs and 10 outputs;
+/// ~12e6 parameters and ~24e6 forward multiply-adds.
+NetworkSpec MnistFullyConnected();
+
+/// An Inception-v3 approximation matched to the paper's Table I
+/// (25e6 parameters, 5e9 forward multiply-adds). The exact per-branch
+/// decomposition of Szegedy et al. is approximated by equivalent
+/// convolution stacks; see EXPERIMENTS.md for the tolerance check.
+NetworkSpec InceptionV3();
+
+}  // namespace presets
+
+}  // namespace dmlscale::models
+
+#endif  // DMLSCALE_MODELS_NEURAL_COST_H_

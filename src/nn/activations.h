@@ -1,0 +1,62 @@
+#ifndef DMLSCALE_NN_ACTIVATIONS_H_
+#define DMLSCALE_NN_ACTIVATIONS_H_
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace dmlscale::nn {
+
+/// Elementwise logistic sigmoid, the paper's canonical nonlinearity.
+class SigmoidLayer final : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "sigmoid"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Tensor last_output_;
+};
+
+/// Elementwise rectified linear unit.
+class ReluLayer final : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "relu"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Tensor last_input_;
+};
+
+/// Elementwise tanh.
+class TanhLayer final : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "tanh"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Tensor last_output_;
+};
+
+/// Row-wise softmax over {batch, classes} inputs. Usually combined with
+/// cross-entropy via SoftmaxCrossEntropyLoss, which bypasses this layer's
+/// Backward for numerical stability; the standalone Backward is exact.
+class SoftmaxLayer final : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "softmax"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  Tensor last_output_;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_ACTIVATIONS_H_

@@ -1,0 +1,133 @@
+#include "nn/conv_layer.h"
+
+#include <cmath>
+
+namespace dmlscale::nn {
+
+Conv2dLayer::Conv2dLayer(int64_t in_depth, int64_t out_maps, int64_t kernel,
+                         int64_t input_side, int64_t stride, int64_t pad,
+                         Pcg32* rng)
+    : in_depth_(in_depth),
+      out_maps_(out_maps),
+      kernel_(kernel),
+      input_side_(input_side),
+      stride_(stride),
+      pad_(pad),
+      output_side_((input_side - kernel + 2 * pad) / stride + 1),
+      kernels_({out_maps, in_depth, kernel, kernel}),
+      bias_({out_maps}),
+      grad_kernels_({out_maps, in_depth, kernel, kernel}),
+      grad_bias_({out_maps}) {
+  DMLSCALE_CHECK_GT(in_depth, 0);
+  DMLSCALE_CHECK_GT(out_maps, 0);
+  DMLSCALE_CHECK_GT(kernel, 0);
+  DMLSCALE_CHECK_GT(input_side, 0);
+  DMLSCALE_CHECK_GT(stride, 0);
+  DMLSCALE_CHECK_GE(pad, 0);
+  DMLSCALE_CHECK_GT(output_side_, 0);
+  DMLSCALE_CHECK(rng != nullptr);
+  double fan_in = static_cast<double>(in_depth * kernel * kernel);
+  kernels_.FillGaussian(1.0 / std::sqrt(fan_in), rng);
+}
+
+Result<Tensor> Conv2dLayer::Forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_depth_ ||
+      input.dim(2) != input_side_ || input.dim(3) != input_side_) {
+    return Status::InvalidArgument("conv2d: bad input shape");
+  }
+  last_input_ = input;
+  int64_t batch = input.dim(0);
+  Tensor output({batch, out_maps_, output_side_, output_side_});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t m = 0; m < out_maps_; ++m) {
+      for (int64_t orow = 0; orow < output_side_; ++orow) {
+        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
+          double acc = bias_[m];
+          for (int64_t d = 0; d < in_depth_; ++d) {
+            for (int64_t kr = 0; kr < kernel_; ++kr) {
+              int64_t irow = orow * stride_ + kr - pad_;
+              if (irow < 0 || irow >= input_side_) continue;
+              for (int64_t kc = 0; kc < kernel_; ++kc) {
+                int64_t icol = ocol * stride_ + kc - pad_;
+                if (icol < 0 || icol >= input_side_) continue;
+                acc += input[input.Index4(b, d, irow, icol)] *
+                       kernels_[kernels_.Index4(m, d, kr, kc)];
+              }
+            }
+          }
+          output[output.Index4(b, m, orow, ocol)] = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Result<Tensor> Conv2dLayer::Backward(const Tensor& grad_output) {
+  if (grad_output.rank() != 4 || grad_output.dim(1) != out_maps_ ||
+      grad_output.dim(2) != output_side_ ||
+      grad_output.dim(3) != output_side_) {
+    return Status::InvalidArgument("conv2d: bad grad_output shape");
+  }
+  if (last_input_.size() == 0) {
+    return Status::FailedPrecondition("Backward before Forward");
+  }
+  int64_t batch = grad_output.dim(0);
+  if (last_input_.dim(0) != batch) {
+    return Status::InvalidArgument("conv2d: batch mismatch");
+  }
+  Tensor grad_input({batch, in_depth_, input_side_, input_side_});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t m = 0; m < out_maps_; ++m) {
+      for (int64_t orow = 0; orow < output_side_; ++orow) {
+        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
+          double go = grad_output[grad_output.Index4(b, m, orow, ocol)];
+          if (go == 0.0) continue;
+          grad_bias_[m] += go;
+          for (int64_t d = 0; d < in_depth_; ++d) {
+            for (int64_t kr = 0; kr < kernel_; ++kr) {
+              int64_t irow = orow * stride_ + kr - pad_;
+              if (irow < 0 || irow >= input_side_) continue;
+              for (int64_t kc = 0; kc < kernel_; ++kc) {
+                int64_t icol = ocol * stride_ + kc - pad_;
+                if (icol < 0 || icol >= input_side_) continue;
+                int64_t in_idx = last_input_.Index4(b, d, irow, icol);
+                int64_t k_idx = kernels_.Index4(m, d, kr, kc);
+                grad_kernels_[k_idx] += go * last_input_[in_idx];
+                grad_input[in_idx] += go * kernels_[k_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> Conv2dLayer::Parameters() { return {&kernels_, &bias_}; }
+
+std::vector<Tensor*> Conv2dLayer::Gradients() {
+  return {&grad_kernels_, &grad_bias_};
+}
+
+void Conv2dLayer::ZeroGradients() {
+  grad_kernels_.Zero();
+  grad_bias_.Zero();
+}
+
+int64_t Conv2dLayer::ForwardMultiplyAddsPerExample() const {
+  // n * (k*k*d * c*c), the paper's convolutional cost (Section V-A).
+  return out_maps_ * kernel_ * kernel_ * in_depth_ * output_side_ *
+         output_side_;
+}
+
+int64_t Conv2dLayer::WeightCount() const {
+  return out_maps_ * in_depth_ * kernel_ * kernel_ + out_maps_;
+}
+
+std::unique_ptr<Layer> Conv2dLayer::Clone() const {
+  return std::unique_ptr<Layer>(new Conv2dLayer(*this));
+}
+
+}  // namespace dmlscale::nn

@@ -1,0 +1,51 @@
+#ifndef DMLSCALE_NN_CONV_LAYER_H_
+#define DMLSCALE_NN_CONV_LAYER_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "nn/layer.h"
+
+namespace dmlscale::nn {
+
+/// Naive 2D convolution over {batch, depth, side, side} inputs with square
+/// kernels, zero padding `pad` on each side, and stride `stride`. Output
+/// side follows the paper's formula with border b = 2 * pad:
+/// c = (side - kernel + 2 * pad) / stride + 1.
+class Conv2dLayer final : public Layer {
+ public:
+  Conv2dLayer(int64_t in_depth, int64_t out_maps, int64_t kernel,
+              int64_t input_side, int64_t stride, int64_t pad, Pcg32* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  void ZeroGradients() override;
+  int64_t ForwardMultiplyAddsPerExample() const override;
+  int64_t WeightCount() const override;
+  std::string name() const override { return "conv2d"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t output_side() const { return output_side_; }
+
+ private:
+  Conv2dLayer(const Conv2dLayer&) = default;
+
+  int64_t in_depth_;
+  int64_t out_maps_;
+  int64_t kernel_;
+  int64_t input_side_;
+  int64_t stride_;
+  int64_t pad_;
+  int64_t output_side_;
+  Tensor kernels_;       // {out_maps, in_depth, kernel, kernel}
+  Tensor bias_;          // {out_maps}
+  Tensor grad_kernels_;
+  Tensor grad_bias_;
+  Tensor last_input_;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_CONV_LAYER_H_

@@ -1,0 +1,105 @@
+#include "nn/data.h"
+
+#include <cmath>
+#include <vector>
+
+namespace dmlscale::nn {
+
+Result<Dataset> Dataset::Slice(int64_t begin, int64_t end) const {
+  if (begin < 0 || end > num_examples() || begin >= end) {
+    return Status::OutOfRange("bad slice range");
+  }
+  int64_t per_example_f = features.size() / num_examples();
+  int64_t per_example_t = targets.size() / num_examples();
+
+  std::vector<int64_t> fshape = features.shape();
+  fshape[0] = end - begin;
+  std::vector<int64_t> tshape = targets.shape();
+  tshape[0] = end - begin;
+
+  Dataset out{Tensor(fshape), Tensor(tshape)};
+  for (int64_t i = 0; i < (end - begin) * per_example_f; ++i) {
+    out.features[i] = features[begin * per_example_f + i];
+  }
+  for (int64_t i = 0; i < (end - begin) * per_example_t; ++i) {
+    out.targets[i] = targets[begin * per_example_t + i];
+  }
+  return out;
+}
+
+Result<Dataset> SyntheticClassification(int64_t examples, int64_t dims,
+                                        int64_t classes, double noise,
+                                        Pcg32* rng) {
+  if (examples < 1 || dims < 1 || classes < 2) {
+    return Status::InvalidArgument("bad dataset dimensions");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  // Random unit-ish centroid per class.
+  Tensor centroids({classes, dims});
+  centroids.FillGaussian(1.0, rng);
+
+  Dataset data{Tensor({examples, dims}), Tensor({examples, classes})};
+  for (int64_t e = 0; e < examples; ++e) {
+    int64_t label = rng->NextBounded(static_cast<uint32_t>(classes));
+    for (int64_t d = 0; d < dims; ++d) {
+      data.features.At2(e, d) =
+          centroids.At2(label, d) + rng->NextGaussian(0.0, noise);
+    }
+    data.targets.At2(e, label) = 1.0;
+  }
+  return data;
+}
+
+Result<Dataset> SyntheticRegression(int64_t examples, int64_t dims,
+                                    int64_t outputs, double noise,
+                                    Pcg32* rng) {
+  if (examples < 1 || dims < 1 || outputs < 1) {
+    return Status::InvalidArgument("bad dataset dimensions");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  Tensor weights({dims, outputs});
+  weights.FillGaussian(1.0 / std::sqrt(static_cast<double>(dims)), rng);
+
+  Dataset data{Tensor({examples, dims}), Tensor({examples, outputs})};
+  for (int64_t e = 0; e < examples; ++e) {
+    for (int64_t d = 0; d < dims; ++d) {
+      data.features.At2(e, d) = rng->NextGaussian(0.0, 1.0);
+    }
+    for (int64_t o = 0; o < outputs; ++o) {
+      double z = 0.0;
+      for (int64_t d = 0; d < dims; ++d) {
+        z += data.features.At2(e, d) * weights.At2(d, o);
+      }
+      data.targets.At2(e, o) = std::sin(z) + rng->NextGaussian(0.0, noise);
+    }
+  }
+  return data;
+}
+
+Result<Dataset> SyntheticImages(int64_t examples, int64_t side,
+                                int64_t classes, double noise, Pcg32* rng) {
+  if (examples < 1 || side < 4 || classes < 2) {
+    return Status::InvalidArgument("bad dataset dimensions");
+  }
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  Dataset data{Tensor({examples, 1, side, side}), Tensor({examples, classes})};
+  for (int64_t e = 0; e < examples; ++e) {
+    int64_t label = rng->NextBounded(static_cast<uint32_t>(classes));
+    // Class-dependent bright blob position along the diagonal.
+    int64_t pos = 1 + (label * (side - 3)) / std::max<int64_t>(classes - 1, 1);
+    for (int64_t r = 0; r < side; ++r) {
+      for (int64_t c = 0; c < side; ++c) {
+        double v = rng->NextGaussian(0.0, noise);
+        if (std::llabs(r - pos) <= 1 && std::llabs(c - pos) <= 1) v += 1.0;
+        data.features[data.features.Index4(e, 0, r, c)] = v;
+      }
+    }
+    data.targets.At2(e, label) = 1.0;
+  }
+  return data;
+}
+
+}  // namespace dmlscale::nn

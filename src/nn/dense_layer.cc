@@ -1,0 +1,96 @@
+#include "nn/dense_layer.h"
+
+#include <cmath>
+
+namespace dmlscale::nn {
+
+DenseLayer::DenseLayer(int64_t inputs, int64_t outputs, Pcg32* rng)
+    : inputs_(inputs),
+      outputs_(outputs),
+      weights_({inputs, outputs}),
+      bias_({outputs}),
+      grad_weights_({inputs, outputs}),
+      grad_bias_({outputs}) {
+  DMLSCALE_CHECK_GT(inputs, 0);
+  DMLSCALE_CHECK_GT(outputs, 0);
+  DMLSCALE_CHECK(rng != nullptr);
+  weights_.FillGaussian(1.0 / std::sqrt(static_cast<double>(inputs)), rng);
+}
+
+Result<Tensor> DenseLayer::Forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != inputs_) {
+    return Status::InvalidArgument("dense: expected {batch, " +
+                                   std::to_string(inputs_) + "} input");
+  }
+  last_input_ = input;
+  int64_t batch = input.dim(0);
+  Tensor output({batch, outputs_});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < inputs_; ++i) {
+      double x = input.At2(b, i);
+      if (x == 0.0) continue;
+      const double* w_row = weights_.data() + i * outputs_;
+      double* out_row = output.data() + b * outputs_;
+      for (int64_t o = 0; o < outputs_; ++o) out_row[o] += x * w_row[o];
+    }
+    double* out_row = output.data() + b * outputs_;
+    for (int64_t o = 0; o < outputs_; ++o) out_row[o] += bias_[o];
+  }
+  return output;
+}
+
+Result<Tensor> DenseLayer::Backward(const Tensor& grad_output) {
+  if (grad_output.rank() != 2 || grad_output.dim(1) != outputs_) {
+    return Status::InvalidArgument("dense: bad grad_output shape");
+  }
+  if (last_input_.size() == 0) {
+    return Status::FailedPrecondition("Backward before Forward");
+  }
+  int64_t batch = grad_output.dim(0);
+  if (last_input_.dim(0) != batch) {
+    return Status::InvalidArgument("dense: batch mismatch");
+  }
+  Tensor grad_input({batch, inputs_});
+  for (int64_t b = 0; b < batch; ++b) {
+    const double* go_row = grad_output.data() + b * outputs_;
+    const double* in_row = last_input_.data() + b * inputs_;
+    for (int64_t i = 0; i < inputs_; ++i) {
+      const double* w_row = weights_.data() + i * outputs_;
+      double* gw_row = grad_weights_.data() + i * outputs_;
+      double acc = 0.0;
+      double x = in_row[i];
+      for (int64_t o = 0; o < outputs_; ++o) {
+        acc += go_row[o] * w_row[o];
+        gw_row[o] += x * go_row[o];
+      }
+      grad_input.At2(b, i) = acc;
+    }
+    for (int64_t o = 0; o < outputs_; ++o) grad_bias_[o] += go_row[o];
+  }
+  return grad_input;
+}
+
+std::vector<Tensor*> DenseLayer::Parameters() { return {&weights_, &bias_}; }
+
+std::vector<Tensor*> DenseLayer::Gradients() {
+  return {&grad_weights_, &grad_bias_};
+}
+
+void DenseLayer::ZeroGradients() {
+  grad_weights_.Zero();
+  grad_bias_.Zero();
+}
+
+int64_t DenseLayer::ForwardMultiplyAddsPerExample() const {
+  return inputs_ * outputs_;
+}
+
+int64_t DenseLayer::WeightCount() const {
+  return inputs_ * outputs_ + outputs_;
+}
+
+std::unique_ptr<Layer> DenseLayer::Clone() const {
+  return std::unique_ptr<Layer>(new DenseLayer(*this));
+}
+
+}  // namespace dmlscale::nn

@@ -1,0 +1,45 @@
+#ifndef DMLSCALE_NN_DENSE_LAYER_H_
+#define DMLSCALE_NN_DENSE_LAYER_H_
+
+#include <memory>
+
+#include "common/random.h"
+#include "nn/layer.h"
+
+namespace dmlscale::nn {
+
+/// Fully connected layer: y = x W + b for batch input x of shape
+/// {batch, inputs}; W is {inputs, outputs}, b is {outputs}.
+class DenseLayer final : public Layer {
+ public:
+  /// Gaussian-initialized weights with stddev 1/sqrt(inputs).
+  DenseLayer(int64_t inputs, int64_t outputs, Pcg32* rng);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> Parameters() override;
+  std::vector<Tensor*> Gradients() override;
+  void ZeroGradients() override;
+  int64_t ForwardMultiplyAddsPerExample() const override;
+  int64_t WeightCount() const override;
+  std::string name() const override { return "dense"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t inputs() const { return inputs_; }
+  int64_t outputs() const { return outputs_; }
+
+ private:
+  DenseLayer(const DenseLayer&) = default;
+
+  int64_t inputs_;
+  int64_t outputs_;
+  Tensor weights_;       // {inputs, outputs}
+  Tensor bias_;          // {outputs}
+  Tensor grad_weights_;  // accumulated
+  Tensor grad_bias_;
+  Tensor last_input_;    // cached by Forward
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_DENSE_LAYER_H_

@@ -1,0 +1,51 @@
+#ifndef DMLSCALE_NN_LAYER_H_
+#define DMLSCALE_NN_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace dmlscale::nn {
+
+/// A differentiable layer. Forward() caches what Backward() needs; the pair
+/// must be called in sequence (standard backprop contract). Parameter
+/// gradients accumulate across Backward() calls until ZeroGradients().
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output for a batch input.
+  virtual Result<Tensor> Forward(const Tensor& input) = 0;
+
+  /// Given dLoss/dOutput, accumulates parameter gradients and returns
+  /// dLoss/dInput. Must follow a Forward() call.
+  virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;
+
+  /// Trainable parameter tensors (empty for activations).
+  virtual std::vector<Tensor*> Parameters() { return {}; }
+
+  /// Gradients corresponding 1:1 to Parameters().
+  virtual std::vector<Tensor*> Gradients() { return {}; }
+
+  /// Clears accumulated gradients.
+  virtual void ZeroGradients() {}
+
+  /// Multiply-add operations of one forward pass for a single example;
+  /// cross-checked against models::neural_cost in tests.
+  virtual int64_t ForwardMultiplyAddsPerExample() const { return 0; }
+
+  /// Total trainable weights.
+  virtual int64_t WeightCount() const { return 0; }
+
+  virtual std::string name() const = 0;
+
+  /// Deep copy (used by the data-parallel engine to give each worker its
+  /// own replica).
+  virtual std::unique_ptr<Layer> Clone() const = 0;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_LAYER_H_

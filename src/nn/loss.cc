@@ -1,0 +1,61 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace dmlscale::nn {
+
+Result<LossResult> MeanSquaredError::Compute(const Tensor& predictions,
+                                             const Tensor& targets) const {
+  if (!predictions.SameShape(targets)) {
+    return Status::InvalidArgument("mse: shape mismatch");
+  }
+  if (predictions.rank() != 2 || predictions.dim(0) < 1) {
+    return Status::InvalidArgument("mse: expected non-empty rank-2 tensors");
+  }
+  double batch = static_cast<double>(predictions.dim(0));
+  LossResult result;
+  result.grad = Tensor(predictions.shape());
+  double acc = 0.0;
+  for (int64_t i = 0; i < predictions.size(); ++i) {
+    double d = predictions[i] - targets[i];
+    acc += d * d;
+    result.grad[i] = d / batch;
+  }
+  result.loss = acc / (2.0 * batch);
+  return result;
+}
+
+Result<LossResult> SoftmaxCrossEntropyLoss::Compute(
+    const Tensor& logits, const Tensor& one_hot_targets) const {
+  if (!logits.SameShape(one_hot_targets)) {
+    return Status::InvalidArgument("xent: shape mismatch");
+  }
+  if (logits.rank() != 2 || logits.dim(0) < 1) {
+    return Status::InvalidArgument("xent: expected non-empty rank-2 tensors");
+  }
+  int64_t batch = logits.dim(0);
+  int64_t classes = logits.dim(1);
+  LossResult result;
+  result.grad = Tensor(logits.shape());
+  double total = 0.0;
+  for (int64_t b = 0; b < batch; ++b) {
+    const double* row = logits.data() + b * classes;
+    double max_logit = row[0];
+    for (int64_t c = 1; c < classes; ++c) {
+      max_logit = std::max(max_logit, row[c]);
+    }
+    double sum = 0.0;
+    for (int64_t c = 0; c < classes; ++c) sum += std::exp(row[c] - max_logit);
+    double log_sum = std::log(sum) + max_logit;
+    for (int64_t c = 0; c < classes; ++c) {
+      double p = std::exp(row[c] - log_sum);
+      double t = one_hot_targets.At2(b, c);
+      result.grad.At2(b, c) = (p - t) / static_cast<double>(batch);
+      if (t > 0.0) total -= t * (row[c] - log_sum);
+    }
+  }
+  result.loss = total / static_cast<double>(batch);
+  return result;
+}
+
+}  // namespace dmlscale::nn

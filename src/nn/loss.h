@@ -1,0 +1,44 @@
+#ifndef DMLSCALE_NN_LOSS_H_
+#define DMLSCALE_NN_LOSS_H_
+
+#include "common/status.h"
+#include "nn/tensor.h"
+
+namespace dmlscale::nn {
+
+/// Loss value plus gradient of the loss w.r.t. predictions, averaged over
+/// the batch.
+struct LossResult {
+  double loss = 0.0;
+  Tensor grad;
+};
+
+/// A batch loss function over {batch, outputs} predictions and targets.
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  virtual Result<LossResult> Compute(const Tensor& predictions,
+                                     const Tensor& targets) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Mean squared error: (1 / (2 * batch)) * sum (p - t)^2.
+class MeanSquaredError final : public Loss {
+ public:
+  Result<LossResult> Compute(const Tensor& predictions,
+                             const Tensor& targets) const override;
+  std::string name() const override { return "mse"; }
+};
+
+/// Softmax + cross entropy over logits, with one-hot targets. Combining
+/// the two keeps the gradient simply (softmax - target) / batch.
+class SoftmaxCrossEntropyLoss final : public Loss {
+ public:
+  Result<LossResult> Compute(const Tensor& logits,
+                             const Tensor& one_hot_targets) const override;
+  std::string name() const override { return "softmax-cross-entropy"; }
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_LOSS_H_

@@ -1,0 +1,120 @@
+#include "nn/network.h"
+
+#include "nn/activations.h"
+#include "nn/dense_layer.h"
+
+namespace dmlscale::nn {
+
+void Network::Add(std::unique_ptr<Layer> layer) {
+  DMLSCALE_CHECK(layer != nullptr);
+  layers_.push_back(std::move(layer));
+}
+
+Result<Tensor> Network::Forward(const Tensor& input) {
+  if (layers_.empty()) return Status::FailedPrecondition("empty network");
+  Tensor current = input;
+  for (auto& layer : layers_) {
+    DMLSCALE_ASSIGN_OR_RETURN(current, layer->Forward(current));
+  }
+  return current;
+}
+
+Result<Tensor> Network::Backward(const Tensor& grad_loss) {
+  if (layers_.empty()) return Status::FailedPrecondition("empty network");
+  Tensor current = grad_loss;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    DMLSCALE_ASSIGN_OR_RETURN(current, (*it)->Backward(current));
+  }
+  return current;
+}
+
+Result<double> Network::ComputeGradients(const Tensor& input,
+                                         const Tensor& targets,
+                                         const Loss& loss) {
+  DMLSCALE_ASSIGN_OR_RETURN(Tensor predictions, Forward(input));
+  DMLSCALE_ASSIGN_OR_RETURN(LossResult lr, loss.Compute(predictions, targets));
+  DMLSCALE_ASSIGN_OR_RETURN(Tensor ignored, Backward(lr.grad));
+  (void)ignored;
+  return lr.loss;
+}
+
+void Network::ZeroGradients() {
+  for (auto& layer : layers_) layer->ZeroGradients();
+}
+
+std::vector<Tensor*> Network::Parameters() {
+  std::vector<Tensor*> params;
+  for (auto& layer : layers_) {
+    for (Tensor* p : layer->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::vector<Tensor*> Network::Gradients() {
+  std::vector<Tensor*> grads;
+  for (auto& layer : layers_) {
+    for (Tensor* g : layer->Gradients()) grads.push_back(g);
+  }
+  return grads;
+}
+
+Status Network::CopyParametersFrom(Network& other) {
+  auto dst = Parameters();
+  auto src = other.Parameters();
+  if (dst.size() != src.size()) {
+    return Status::InvalidArgument("parameter count mismatch");
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (!dst[i]->SameShape(*src[i])) {
+      return Status::InvalidArgument("parameter shape mismatch");
+    }
+    *dst[i] = *src[i];
+  }
+  return Status::OK();
+}
+
+Status Network::AccumulateGradientsFrom(Network& other) {
+  auto dst = Gradients();
+  auto src = other.Gradients();
+  if (dst.size() != src.size()) {
+    return Status::InvalidArgument("gradient count mismatch");
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    DMLSCALE_RETURN_NOT_OK(dst[i]->AddInPlace(*src[i]));
+  }
+  return Status::OK();
+}
+
+int64_t Network::WeightCount() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) total += layer->WeightCount();
+  return total;
+}
+
+int64_t Network::ForwardMultiplyAddsPerExample() const {
+  int64_t total = 0;
+  for (const auto& layer : layers_) {
+    total += layer->ForwardMultiplyAddsPerExample();
+  }
+  return total;
+}
+
+Network Network::Clone() const {
+  Network copy;
+  for (const auto& layer : layers_) copy.Add(layer->Clone());
+  return copy;
+}
+
+Network Network::FullyConnected(const std::vector<int64_t>& sizes,
+                                Pcg32* rng) {
+  DMLSCALE_CHECK_GE(sizes.size(), 2u);
+  DMLSCALE_CHECK(rng != nullptr);
+  Network net;
+  for (size_t i = 0; i + 1 < sizes.size(); ++i) {
+    net.Add(std::make_unique<DenseLayer>(sizes[i], sizes[i + 1], rng));
+    if (i + 2 < sizes.size()) net.Add(std::make_unique<SigmoidLayer>());
+  }
+  return net;
+}
+
+}  // namespace dmlscale::nn

@@ -1,0 +1,74 @@
+#ifndef DMLSCALE_NN_NETWORK_H_
+#define DMLSCALE_NN_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "nn/layer.h"
+#include "nn/loss.h"
+
+namespace dmlscale::nn {
+
+/// A sequential stack of layers with backprop. This is the executable
+/// counterpart of models::NetworkSpec: its per-layer multiply-add counts
+/// are cross-checked against the analytical calculator in tests.
+class Network {
+ public:
+  Network() = default;
+
+  /// Non-copyable (layers own large state); use Clone().
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+
+  void Add(std::unique_ptr<Layer> layer);
+
+  /// Runs all layers forward.
+  Result<Tensor> Forward(const Tensor& input);
+
+  /// Backpropagates from dLoss/dPredictions; accumulates parameter grads.
+  Result<Tensor> Backward(const Tensor& grad_loss);
+
+  /// Forward + loss + backward; returns the batch loss.
+  Result<double> ComputeGradients(const Tensor& input, const Tensor& targets,
+                                  const Loss& loss);
+
+  /// Clears all accumulated gradients.
+  void ZeroGradients();
+
+  /// Flattened views of all trainable parameters / gradients.
+  std::vector<Tensor*> Parameters();
+  std::vector<Tensor*> Gradients();
+
+  /// Copies parameter values from another network of identical topology.
+  Status CopyParametersFrom(Network& other);
+
+  /// Adds another replica's gradients into this network's gradients
+  /// (the data-parallel aggregation step).
+  Status AccumulateGradientsFrom(Network& other);
+
+  /// Total trainable weights.
+  int64_t WeightCount() const;
+
+  /// Multiply-adds per example of one forward pass.
+  int64_t ForwardMultiplyAddsPerExample() const;
+
+  size_t num_layers() const { return layers_.size(); }
+  Layer& layer(size_t i) { return *layers_.at(i); }
+
+  /// Deep copy.
+  Network Clone() const;
+
+  /// Builds a fully connected sigmoid network from layer sizes, e.g.
+  /// {784, 2500, ..., 10}: dense + sigmoid pairs, final layer linear.
+  static Network FullyConnected(const std::vector<int64_t>& sizes, Pcg32* rng);
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_NETWORK_H_

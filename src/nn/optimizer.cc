@@ -1,0 +1,82 @@
+#include "nn/optimizer.h"
+
+#include "common/check.h"
+
+namespace dmlscale::nn {
+
+SgdOptimizer::SgdOptimizer(double learning_rate)
+    : learning_rate_(learning_rate) {
+  DMLSCALE_CHECK_GT(learning_rate, 0.0);
+}
+
+Status SgdOptimizer::Step(Network* network, double scale) {
+  if (network == nullptr) return Status::InvalidArgument("null network");
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be > 0");
+  auto params = network->Parameters();
+  auto grads = network->Gradients();
+  if (params.size() != grads.size()) {
+    return Status::Internal("parameter/gradient arity mismatch");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor* p = params[i];
+    Tensor* g = grads[i];
+    if (!p->SameShape(*g)) return Status::Internal("param/grad shape mismatch");
+    for (int64_t j = 0; j < p->size(); ++j) {
+      (*p)[j] -= learning_rate_ * (*g)[j] * scale;
+    }
+  }
+  network->ZeroGradients();
+  return Status::OK();
+}
+
+MomentumOptimizer::MomentumOptimizer(double learning_rate, double momentum)
+    : learning_rate_(learning_rate), momentum_(momentum) {
+  DMLSCALE_CHECK_GT(learning_rate, 0.0);
+  DMLSCALE_CHECK(momentum >= 0.0 && momentum < 1.0);
+}
+
+Status MomentumOptimizer::Step(Network* network, double scale) {
+  if (network == nullptr) return Status::InvalidArgument("null network");
+  if (scale <= 0.0) return Status::InvalidArgument("scale must be > 0");
+  auto params = network->Parameters();
+  auto grads = network->Gradients();
+  if (params.size() != grads.size()) {
+    return Status::Internal("parameter/gradient arity mismatch");
+  }
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  if (velocity_.size() != params.size()) {
+    return Status::InvalidArgument("optimizer bound to another topology");
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor* p = params[i];
+    Tensor* g = grads[i];
+    Tensor& v = velocity_[i];
+    if (!p->SameShape(*g) || !p->SameShape(v)) {
+      return Status::InvalidArgument("shape mismatch in momentum step");
+    }
+    for (int64_t j = 0; j < p->size(); ++j) {
+      v[j] = momentum_ * v[j] + (*g)[j] * scale;
+      (*p)[j] -= learning_rate_ * v[j];
+    }
+  }
+  network->ZeroGradients();
+  return Status::OK();
+}
+
+Result<double> TrainBatch(Network* network, const Tensor& input,
+                          const Tensor& targets, const Loss& loss,
+                          SgdOptimizer* optimizer) {
+  if (network == nullptr || optimizer == nullptr) {
+    return Status::InvalidArgument("null network or optimizer");
+  }
+  network->ZeroGradients();
+  DMLSCALE_ASSIGN_OR_RETURN(double batch_loss,
+                            network->ComputeGradients(input, targets, loss));
+  DMLSCALE_RETURN_NOT_OK(optimizer->Step(network));
+  return batch_loss;
+}
+
+}  // namespace dmlscale::nn

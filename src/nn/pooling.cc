@@ -1,0 +1,94 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace dmlscale::nn {
+
+MaxPool2dLayer::MaxPool2dLayer(int64_t window, int64_t input_side,
+                               int64_t depth)
+    : window_(window),
+      input_side_(input_side),
+      depth_(depth),
+      output_side_(input_side / window) {
+  DMLSCALE_CHECK_GT(window, 0);
+  DMLSCALE_CHECK_GT(depth, 0);
+  DMLSCALE_CHECK_MSG(input_side % window == 0,
+                     "input side must be divisible by the pooling window");
+  DMLSCALE_CHECK_GT(output_side_, 0);
+}
+
+Result<Tensor> MaxPool2dLayer::Forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != depth_ ||
+      input.dim(2) != input_side_ || input.dim(3) != input_side_) {
+    return Status::InvalidArgument("maxpool2d: bad input shape");
+  }
+  last_input_ = input;
+  int64_t batch = input.dim(0);
+  Tensor output({batch, depth_, output_side_, output_side_});
+  argmax_.assign(static_cast<size_t>(output.size()), 0);
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t d = 0; d < depth_; ++d) {
+      for (int64_t orow = 0; orow < output_side_; ++orow) {
+        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
+          double best = -std::numeric_limits<double>::infinity();
+          int64_t best_idx = -1;
+          for (int64_t wr = 0; wr < window_; ++wr) {
+            for (int64_t wc = 0; wc < window_; ++wc) {
+              int64_t idx = input.Index4(b, d, orow * window_ + wr,
+                                         ocol * window_ + wc);
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          int64_t out_idx = output.Index4(b, d, orow, ocol);
+          output[out_idx] = best;
+          argmax_[static_cast<size_t>(out_idx)] = best_idx;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Result<Tensor> MaxPool2dLayer::Backward(const Tensor& grad_output) {
+  if (last_input_.size() == 0) {
+    return Status::FailedPrecondition("Backward before Forward");
+  }
+  if (grad_output.rank() != 4 ||
+      grad_output.size() != static_cast<int64_t>(argmax_.size())) {
+    return Status::InvalidArgument("maxpool2d: bad grad_output shape");
+  }
+  Tensor grad_input(last_input_.shape());
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    grad_input[argmax_[static_cast<size_t>(i)]] += grad_output[i];
+  }
+  return grad_input;
+}
+
+std::unique_ptr<Layer> MaxPool2dLayer::Clone() const {
+  return std::make_unique<MaxPool2dLayer>(window_, input_side_, depth_);
+}
+
+Result<Tensor> FlattenLayer::Forward(const Tensor& input) {
+  if (input.rank() < 2) {
+    return Status::InvalidArgument("flatten: rank must be >= 2");
+  }
+  last_shape_ = input.shape();
+  int64_t batch = input.dim(0);
+  return input.Reshape({batch, input.size() / batch});
+}
+
+Result<Tensor> FlattenLayer::Backward(const Tensor& grad_output) {
+  if (last_shape_.empty()) {
+    return Status::FailedPrecondition("Backward before Forward");
+  }
+  return grad_output.Reshape(last_shape_);
+}
+
+std::unique_ptr<Layer> FlattenLayer::Clone() const {
+  return std::make_unique<FlattenLayer>();
+}
+
+}  // namespace dmlscale::nn

@@ -1,0 +1,50 @@
+#ifndef DMLSCALE_NN_POOLING_H_
+#define DMLSCALE_NN_POOLING_H_
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace dmlscale::nn {
+
+/// 2D max pooling over {batch, depth, side, side} inputs with a square
+/// window and equal stride (non-overlapping). Pooling layers carry no
+/// weights — the paper's cost model ignores them, and so do the runtime
+/// op counters here.
+class MaxPool2dLayer final : public Layer {
+ public:
+  MaxPool2dLayer(int64_t window, int64_t input_side, int64_t depth);
+
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "maxpool2d"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+  int64_t output_side() const { return output_side_; }
+
+ private:
+  int64_t window_;
+  int64_t input_side_;
+  int64_t depth_;
+  int64_t output_side_;
+  Tensor last_input_;
+  /// Flat index of the argmax for each output cell, for backprop routing.
+  std::vector<int64_t> argmax_;
+};
+
+/// Flattens {batch, d, h, w} (or any rank >= 2) to {batch, rest},
+/// connecting convolutional stacks to dense classifiers.
+class FlattenLayer final : public Layer {
+ public:
+  Result<Tensor> Forward(const Tensor& input) override;
+  Result<Tensor> Backward(const Tensor& grad_output) override;
+  std::string name() const override { return "flatten"; }
+  std::unique_ptr<Layer> Clone() const override;
+
+ private:
+  std::vector<int64_t> last_shape_;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_POOLING_H_

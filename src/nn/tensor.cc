@@ -1,0 +1,59 @@
+#include "nn/tensor.h"
+
+#include <algorithm>
+
+namespace dmlscale::nn {
+
+int64_t Tensor::Volume(const std::vector<int64_t>& shape) {
+  int64_t volume = 1;
+  for (int64_t d : shape) {
+    DMLSCALE_CHECK_GE(d, 0);
+    volume *= d;
+  }
+  return volume;
+}
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<size_t>(Volume(shape_)), 0.0) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  DMLSCALE_CHECK_EQ(static_cast<int64_t>(data_.size()), Volume(shape_));
+}
+
+void Tensor::Zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void Tensor::FillGaussian(double stddev, Pcg32* rng) {
+  DMLSCALE_CHECK(rng != nullptr);
+  for (auto& x : data_) x = rng->NextGaussian(0.0, stddev);
+}
+
+void Tensor::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Status Tensor::AddInPlace(const Tensor& other) {
+  if (!SameShape(other)) return Status::InvalidArgument("shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return Status::OK();
+}
+
+void Tensor::Scale(double factor) {
+  for (auto& x : data_) x *= factor;
+}
+
+double Tensor::SquaredNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return acc;
+}
+
+Result<Tensor> Tensor::Reshape(std::vector<int64_t> new_shape) const {
+  if (Volume(new_shape) != size()) {
+    return Status::InvalidArgument("reshape volume mismatch");
+  }
+  return Tensor(std::move(new_shape), data_);
+}
+
+}  // namespace dmlscale::nn

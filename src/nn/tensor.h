@@ -1,0 +1,89 @@
+#ifndef DMLSCALE_NN_TENSOR_H_
+#define DMLSCALE_NN_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace dmlscale::nn {
+
+/// Dense row-major tensor of doubles. Minimal by design: the neural-network
+/// substrate exists to execute real training for validating the cost
+/// models, not to compete with BLAS.
+class Tensor {
+ public:
+  /// Empty (rank-0, zero elements).
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Tensor with explicit contents; `data.size()` must equal the shape
+  /// volume.
+  Tensor(std::vector<int64_t> shape, std::vector<double> data);
+
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(size_t i) const { return shape_.at(i); }
+  size_t rank() const { return shape_.size(); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  double& operator[](int64_t i) { return data_[static_cast<size_t>(i)]; }
+  double operator[](int64_t i) const { return data_[static_cast<size_t>(i)]; }
+
+  /// 2D accessors (checked rank).
+  double& At2(int64_t r, int64_t c) {
+    DMLSCALE_CHECK_EQ(rank(), 2u);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  double At2(int64_t r, int64_t c) const {
+    DMLSCALE_CHECK_EQ(rank(), 2u);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+
+  /// 4D accessor for (batch, channel, row, col) layouts.
+  int64_t Index4(int64_t b, int64_t ch, int64_t r, int64_t c) const {
+    DMLSCALE_CHECK_EQ(rank(), 4u);
+    return ((b * shape_[1] + ch) * shape_[2] + r) * shape_[3] + c;
+  }
+
+  /// Sets all elements to zero.
+  void Zero();
+
+  /// Fills with N(0, stddev) values.
+  void FillGaussian(double stddev, Pcg32* rng);
+
+  /// Fills with a constant.
+  void Fill(double value);
+
+  /// Elementwise a += b; fails on shape mismatch.
+  Status AddInPlace(const Tensor& other);
+
+  /// Elementwise scale.
+  void Scale(double factor);
+
+  /// Sum of squares of all elements.
+  double SquaredNorm() const;
+
+  /// Reinterprets as a new shape with equal volume.
+  Result<Tensor> Reshape(std::vector<int64_t> new_shape) const;
+
+  /// True when shapes match exactly.
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  static int64_t Volume(const std::vector<int64_t>& shape);
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_TENSOR_H_

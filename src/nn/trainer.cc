@@ -1,0 +1,99 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dmlscale::nn {
+
+namespace {
+
+/// Gathers the rows of `data` at `order` into a new dataset.
+Result<Dataset> Permute(const Dataset& data,
+                        const std::vector<int64_t>& order) {
+  int64_t per_feature = data.features.size() / data.num_examples();
+  int64_t per_target = data.targets.size() / data.num_examples();
+  Dataset out{Tensor(data.features.shape()), Tensor(data.targets.shape())};
+  for (size_t i = 0; i < order.size(); ++i) {
+    int64_t src = order[i];
+    for (int64_t j = 0; j < per_feature; ++j) {
+      out.features[static_cast<int64_t>(i) * per_feature + j] =
+          data.features[src * per_feature + j];
+    }
+    for (int64_t j = 0; j < per_target; ++j) {
+      out.targets[static_cast<int64_t>(i) * per_target + j] =
+          data.targets[src * per_target + j];
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TrainingHistory> TrainMiniBatches(Network* network,
+                                         const Dataset& data,
+                                         const Loss& loss,
+                                         SgdOptimizer* optimizer,
+                                         const TrainerOptions& options,
+                                         Pcg32* rng) {
+  if (network == nullptr || optimizer == nullptr) {
+    return Status::InvalidArgument("null network or optimizer");
+  }
+  if (data.num_examples() < 1) return Status::InvalidArgument("empty data");
+  if (options.epochs < 1) return Status::InvalidArgument("epochs must be >= 1");
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.shuffle && rng == nullptr) {
+    return Status::InvalidArgument("shuffle requires an rng");
+  }
+
+  int64_t examples = data.num_examples();
+  std::vector<int64_t> order(static_cast<size_t>(examples));
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainingHistory history;
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    Dataset epoch_data{Tensor({0}), Tensor({0})};
+    const Dataset* source = &data;
+    if (options.shuffle) {
+      rng->Shuffle(&order);
+      DMLSCALE_ASSIGN_OR_RETURN(epoch_data, Permute(data, order));
+      source = &epoch_data;
+    }
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (int64_t begin = 0; begin < examples; begin += options.batch_size) {
+      int64_t end = std::min(begin + options.batch_size, examples);
+      DMLSCALE_ASSIGN_OR_RETURN(Dataset batch, source->Slice(begin, end));
+      DMLSCALE_ASSIGN_OR_RETURN(
+          double batch_loss,
+          TrainBatch(network, batch.features, batch.targets, loss, optimizer));
+      loss_sum += batch_loss;
+      ++batches;
+    }
+    history.epoch_loss.push_back(loss_sum / static_cast<double>(batches));
+  }
+  return history;
+}
+
+Result<double> EvaluateAccuracy(Network* network, const Dataset& data) {
+  if (network == nullptr) return Status::InvalidArgument("null network");
+  if (data.num_examples() < 1) return Status::InvalidArgument("empty data");
+  DMLSCALE_ASSIGN_OR_RETURN(Tensor out, network->Forward(data.features));
+  if (out.rank() != 2 || !out.SameShape(data.targets)) {
+    return Status::InvalidArgument("output/target shape mismatch");
+  }
+  int64_t correct = 0;
+  int64_t classes = out.dim(1);
+  for (int64_t e = 0; e < out.dim(0); ++e) {
+    int64_t pred = 0, truth = 0;
+    for (int64_t c = 1; c < classes; ++c) {
+      if (out.At2(e, c) > out.At2(e, pred)) pred = c;
+      if (data.targets.At2(e, c) > data.targets.At2(e, truth)) truth = c;
+    }
+    if (pred == truth) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(out.dim(0));
+}
+
+}  // namespace dmlscale::nn

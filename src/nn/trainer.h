@@ -1,0 +1,49 @@
+#ifndef DMLSCALE_NN_TRAINER_H_
+#define DMLSCALE_NN_TRAINER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "nn/data.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace dmlscale::nn {
+
+/// Mini-batch SGD training loop: per epoch, shuffles example order, slices
+/// mini-batches, and applies one optimizer step per batch — the
+/// single-node baseline whose distributed counterparts the scalability
+/// models describe.
+struct TrainerOptions {
+  int epochs = 10;
+  int64_t batch_size = 32;
+  /// Shuffle example order each epoch (deterministic via the given rng).
+  bool shuffle = true;
+};
+
+struct TrainingHistory {
+  /// Mean per-batch loss of each epoch.
+  std::vector<double> epoch_loss;
+
+  double final_loss() const {
+    return epoch_loss.empty() ? 0.0 : epoch_loss.back();
+  }
+};
+
+/// Trains `network` on `data` with plain SGD. Fails on empty data or
+/// invalid options; a short final batch is processed as-is.
+Result<TrainingHistory> TrainMiniBatches(Network* network,
+                                         const Dataset& data,
+                                         const Loss& loss,
+                                         SgdOptimizer* optimizer,
+                                         const TrainerOptions& options,
+                                         Pcg32* rng);
+
+/// Classification accuracy of `network` on `data` (argmax of outputs vs
+/// argmax of one-hot targets).
+Result<double> EvaluateAccuracy(Network* network, const Dataset& data);
+
+}  // namespace dmlscale::nn
+
+#endif  // DMLSCALE_NN_TRAINER_H_

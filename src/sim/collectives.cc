@@ -1,0 +1,194 @@
+#include "sim/collectives.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "sim/simulator.h"
+
+namespace dmlscale::sim {
+
+namespace {
+
+Status CheckCommon(size_t num_nodes, double bits, const core::LinkSpec& link) {
+  if (num_nodes < 1) return Status::InvalidArgument("need >= 1 node");
+  if (bits < 0.0) return Status::InvalidArgument("bits must be >= 0");
+  DMLSCALE_RETURN_NOT_OK(link.Validate());
+  return Status::OK();
+}
+
+/// One point-to-point transfer duration including serialization.
+double TransferSeconds(double bits, const core::LinkSpec& link,
+                       const OverheadModel& overhead) {
+  return bits / link.bandwidth_bps + link.latency_s +
+         overhead.serialize_s_per_bit * bits;
+}
+
+}  // namespace
+
+Result<double> SimulateTreeReduce(const std::vector<double>& ready_times,
+                                  double bits, core::LinkSpec link,
+                                  const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+  int n = static_cast<int>(ready_times.size());
+  if (n == 1) return ready_times[0];
+
+  // Heap-indexed binary tree: node i has children 2i+1, 2i+2. A node can
+  // send upward once its own work and all child receptions are complete.
+  // Parents receive sequentially over one link (link_busy_until).
+  Simulator simulator;
+  double transfer = TransferSeconds(bits, link, overhead);
+  std::vector<int> pending_children(static_cast<size_t>(n), 0);
+  std::vector<double> up_ready = ready_times;  // when node may send upward
+  std::vector<double> link_busy(static_cast<size_t>(n), 0.0);
+  double completion = 0.0;
+
+  for (int i = 0; i < n; ++i) {
+    int kids = 0;
+    if (2 * i + 1 < n) ++kids;
+    if (2 * i + 2 < n) ++kids;
+    pending_children[static_cast<size_t>(i)] = kids;
+  }
+
+  // SendUp is declared as a std::function so events can schedule events.
+  std::function<void(int)> send_up = [&](int node) {
+    if (node == 0) {
+      completion = std::max(completion, up_ready[0]);
+      return;
+    }
+    int parent = (node - 1) / 2;
+    // Reception occupies the parent's link; sequential per parent.
+    double start = std::max(up_ready[static_cast<size_t>(node)],
+                            link_busy[static_cast<size_t>(parent)]);
+    double done = start + transfer;
+    link_busy[static_cast<size_t>(parent)] = done;
+    simulator.ScheduleAt(done, [&, parent, done] {
+      up_ready[static_cast<size_t>(parent)] =
+          std::max(up_ready[static_cast<size_t>(parent)], done);
+      if (--pending_children[static_cast<size_t>(parent)] == 0) {
+        send_up(parent);
+      }
+    });
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (pending_children[static_cast<size_t>(i)] == 0) {
+      simulator.ScheduleAt(ready_times[static_cast<size_t>(i)],
+                           [&send_up, i] { send_up(i); });
+    }
+  }
+  simulator.Run();
+  return completion;
+}
+
+Result<double> SimulateTreeBroadcast(int num_nodes, double start_time,
+                                     double bits, core::LinkSpec link,
+                                     const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(
+      CheckCommon(static_cast<size_t>(std::max(num_nodes, 0)), bits, link));
+  if (num_nodes == 1) return start_time;
+
+  Simulator simulator;
+  double transfer = TransferSeconds(bits, link, overhead);
+  std::vector<double> have(static_cast<size_t>(num_nodes), -1.0);
+  double completion = start_time;
+
+  std::function<void(int, double)> deliver = [&](int node, double at) {
+    have[static_cast<size_t>(node)] = at;
+    completion = std::max(completion, at);
+    // Forward to children sequentially over this node's link.
+    double busy = at;
+    for (int child : {2 * node + 1, 2 * node + 2}) {
+      if (child >= num_nodes) continue;
+      busy += transfer;
+      double arrive = busy;
+      simulator.ScheduleAt(arrive, [&deliver, child, arrive] {
+        deliver(child, arrive);
+      });
+    }
+  };
+
+  simulator.ScheduleAt(start_time,
+                       [&deliver, start_time] { deliver(0, start_time); });
+  simulator.Run();
+  return completion;
+}
+
+Result<double> SimulateTorrentBroadcast(int num_nodes, double start_time,
+                                        double bits, core::LinkSpec link,
+                                        const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(
+      CheckCommon(static_cast<size_t>(std::max(num_nodes, 0)), bits, link));
+  if (num_nodes == 1) return start_time;
+  // Holders double each round: ceil(log2 n) rounds of one transfer each.
+  double transfer = TransferSeconds(bits, link, overhead);
+  int rounds = CeilLog2(static_cast<uint64_t>(num_nodes));
+  return start_time + static_cast<double>(rounds) * transfer;
+}
+
+Result<double> SimulateTwoWaveReduce(const std::vector<double>& ready_times,
+                                     double bits, core::LinkSpec link,
+                                     const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+  int n = static_cast<int>(ready_times.size());
+  if (n == 1) return ready_times[0];
+
+  double transfer = TransferSeconds(bits, link, overhead);
+  int num_groups = static_cast<int>(CeilSqrt(static_cast<uint64_t>(n)));
+
+  // Wave 1: member j of group g sends to the group aggregator (the member
+  // with the lowest index); aggregators receive sequentially.
+  std::vector<double> aggregator_done;
+  for (int g = 0; g < num_groups; ++g) {
+    double agg_ready = -1.0;
+    double busy = 0.0;
+    bool first = true;
+    for (int i = g; i < n; i += num_groups) {
+      if (first) {
+        agg_ready = ready_times[static_cast<size_t>(i)];
+        busy = agg_ready;
+        first = false;
+        continue;
+      }
+      double start = std::max(ready_times[static_cast<size_t>(i)], busy);
+      busy = start + transfer;
+    }
+    if (!first) aggregator_done.push_back(std::max(agg_ready, busy));
+  }
+
+  // Wave 2: the driver receives each aggregator's partial sequentially.
+  std::sort(aggregator_done.begin(), aggregator_done.end());
+  double busy = 0.0;
+  for (double ready : aggregator_done) {
+    double start = std::max(ready, busy);
+    busy = start + transfer;
+  }
+  return busy;
+}
+
+Result<double> SimulateRingAllReduce(const std::vector<double>& ready_times,
+                                     double bits, core::LinkSpec link,
+                                     const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+  int n = static_cast<int>(ready_times.size());
+  if (n == 1) return ready_times[0];
+  double chunk = bits / static_cast<double>(n);
+  double step = TransferSeconds(chunk, link, overhead);
+  // Bulk-synchronous ring: every step waits for the slowest participant.
+  double start = *std::max_element(ready_times.begin(), ready_times.end());
+  return start + 2.0 * static_cast<double>(n - 1) * step;
+}
+
+Result<double> SimulateRecursiveDoubling(
+    const std::vector<double>& ready_times, double bits, core::LinkSpec link,
+    const OverheadModel& overhead) {
+  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+  int n = static_cast<int>(ready_times.size());
+  if (n == 1) return ready_times[0];
+  double step = TransferSeconds(bits, link, overhead);
+  double rounds = static_cast<double>(CeilLog2(static_cast<uint64_t>(n)));
+  double start = *std::max_element(ready_times.begin(), ready_times.end());
+  return start + rounds * step;
+}
+
+}  // namespace dmlscale::sim

@@ -1,0 +1,64 @@
+#ifndef DMLSCALE_SIM_OVERHEAD_H_
+#define DMLSCALE_SIM_OVERHEAD_H_
+
+#include "common/random.h"
+
+namespace dmlscale::sim {
+
+/// Framework-level costs that the paper's closed-form models deliberately
+/// omit but real systems (Spark, GraphLab) exhibit. The simulator injects
+/// them so its "measured" curves deviate from the analytical model the way
+/// the paper's experiments do — e.g. Fig. 4's "execution overhead takes
+/// over with larger number of workers".
+struct OverheadModel {
+  /// Fixed per-superstep scheduling cost, seconds.
+  double sched_fixed_s = 0.0;
+  /// Additional scheduling cost per worker, seconds (task dispatch,
+  /// result handling on the driver).
+  double sched_per_worker_s = 0.0;
+  /// Serialization cost per transmitted bit, seconds.
+  double serialize_s_per_bit = 0.0;
+  /// Log-normal sigma of per-worker compute jitter (stragglers). 0 = none.
+  double straggler_sigma = 0.0;
+
+  /// Scheduling time for a superstep on `n` workers.
+  double SchedulingSeconds(int n) const {
+    return sched_fixed_s + sched_per_worker_s * static_cast<double>(n);
+  }
+
+  /// A multiplicative jitter sample (>= 0, median 1).
+  double SampleJitter(Pcg32* rng) const {
+    if (straggler_sigma <= 0.0 || rng == nullptr) return 1.0;
+    return rng->NextLogNormal(straggler_sigma);
+  }
+
+  /// No overheads at all — the simulator then reproduces the closed-form
+  /// models exactly (used by tests).
+  static OverheadModel None() { return OverheadModel{}; }
+
+  /// Defaults loosely calibrated to the paper's Spark cluster behaviour:
+  /// driver-side task dispatch and result handling cost a few hundred
+  /// milliseconds per worker per superstep, which is what pushes the
+  /// measured Fig. 2 optimum down to ~9 workers.
+  static OverheadModel SparkLike() {
+    return OverheadModel{.sched_fixed_s = 0.3,
+                         .sched_per_worker_s = 0.25,
+                         .serialize_s_per_bit = 2e-10,
+                         .straggler_sigma = 0.08};
+  }
+
+  /// Shared-memory engine overhead (lock contention, scheduling) for the
+  /// Fig. 4 GraphLab-style runs; the per-worker constant suits supersteps
+  /// in the millisecond range (the paper's 100M-edge graph). For much
+  /// smaller workloads scale it down proportionally.
+  static OverheadModel GraphLabLike() {
+    return OverheadModel{.sched_fixed_s = 0.0,
+                         .sched_per_worker_s = 3e-5,
+                         .serialize_s_per_bit = 0.0,
+                         .straggler_sigma = 0.05};
+  }
+};
+
+}  // namespace dmlscale::sim
+
+#endif  // DMLSCALE_SIM_OVERHEAD_H_

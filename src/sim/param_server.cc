@@ -1,0 +1,125 @@
+#include "sim/param_server.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "sim/simulator.h"
+
+namespace dmlscale::sim {
+
+Status ParamServerConfig::Validate() const {
+  if (ops_per_update <= 0.0) {
+    return Status::InvalidArgument("ops_per_update must be > 0");
+  }
+  if (message_bits <= 0.0) {
+    return Status::InvalidArgument("message_bits must be > 0");
+  }
+  DMLSCALE_RETURN_NOT_OK(node.Validate());
+  DMLSCALE_RETURN_NOT_OK(worker_link.Validate());
+  DMLSCALE_RETURN_NOT_OK(server_link.Validate());
+  if (target_updates < 1) {
+    return Status::InvalidArgument("target_updates must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<ParamServerStats> SimulateParameterServer(
+    const ParamServerConfig& config, int n, Pcg32* rng) {
+  DMLSCALE_RETURN_NOT_OK(config.Validate());
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  struct State {
+    Simulator simulator;
+    double nic_free = 0.0;
+    double nic_busy_total = 0.0;
+    int64_t version = 0;  // global update counter
+    int64_t completed = 0;
+    double staleness_sum = 0.0;
+    double staleness_max = 0.0;
+    double last_completion = 0.0;
+  };
+  auto state = std::make_shared<State>();
+
+  double compute_base = config.ops_per_update / config.node.EffectiveFlops();
+  // Cut-through transfers: the message streams through the worker link and
+  // the server NIC simultaneously, so the end-to-end time is set by the
+  // slower hop (occupying the server NIC for that duration) plus the
+  // worker-link propagation latency. This matches the single-hop
+  // accounting of the closed-form AsyncGdModel.
+  double wire = config.worker_link.latency_s;
+  double nic_occupancy =
+      config.message_bits / std::min(config.server_link.bandwidth_bps,
+                                     config.worker_link.bandwidth_bps) +
+      config.overhead.serialize_s_per_bit * config.message_bits;
+
+  // Reserves the server NIC starting no earlier than `earliest`; returns
+  // the completion time.
+  auto reserve_nic = [state, nic_occupancy](double earliest) {
+    double start = std::max(earliest, state->nic_free);
+    double done = start + nic_occupancy;
+    state->nic_free = done;
+    state->nic_busy_total += nic_occupancy;
+    return done;
+  };
+
+  // Worker loop as chained events. `std::function` held in a shared
+  // wrapper so the closure can reschedule itself.
+  struct Loop {
+    std::function<void(int64_t)> fn;
+  };
+  auto loop = std::make_shared<Loop>();
+  const int64_t target = config.target_updates;
+  const OverheadModel overhead = config.overhead;
+
+  loop->fn = [state, loop, reserve_nic, compute_base, wire, target, overhead,
+              rng](int64_t version_at_pull) {
+    // Compute phase.
+    double compute = compute_base * overhead.SampleJitter(rng);
+    state->simulator.Schedule(compute, [state, loop, reserve_nic, wire,
+                                        target, version_at_pull] {
+      // Push: traverse worker wire, then occupy the server NIC.
+      double push_done = reserve_nic(state->simulator.Now() + wire);
+      state->simulator.ScheduleAt(
+          push_done, [state, loop, reserve_nic, wire, target,
+                      version_at_pull] {
+            // Update lands: measure staleness against the pull snapshot.
+            double staleness =
+                static_cast<double>(state->version - version_at_pull);
+            state->version += 1;
+            state->completed += 1;
+            state->staleness_sum += staleness;
+            state->staleness_max = std::max(state->staleness_max, staleness);
+            state->last_completion = state->simulator.Now();
+            if (state->completed >= target) return;  // stop spawning
+            // Pull the fresh parameters and go again.
+            double pull_done = reserve_nic(state->simulator.Now());
+            int64_t snapshot = state->version;
+            state->simulator.ScheduleAt(pull_done + wire,
+                                        [loop, snapshot] { loop->fn(snapshot); });
+          });
+    });
+  };
+
+  for (int w = 0; w < n; ++w) {
+    state->simulator.Schedule(0.0, [loop] { loop->fn(0); });
+  }
+  state->simulator.Run();
+
+  ParamServerStats stats;
+  stats.completed_updates = state->completed;
+  if (state->last_completion > 0.0) {
+    stats.updates_per_sec =
+        static_cast<double>(state->completed) / state->last_completion;
+    stats.server_utilization =
+        std::min(1.0, state->nic_busy_total / state->last_completion);
+  }
+  if (state->completed > 0) {
+    stats.mean_staleness =
+        state->staleness_sum / static_cast<double>(state->completed);
+    stats.max_staleness = state->staleness_max;
+  }
+  return stats;
+}
+
+}  // namespace dmlscale::sim

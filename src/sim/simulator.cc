@@ -1,0 +1,31 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace dmlscale::sim {
+
+void Simulator::Schedule(double delay, EventFn fn) {
+  DMLSCALE_CHECK_GE(delay, 0.0);
+  ScheduleAt(now_ + delay, std::move(fn));
+}
+
+void Simulator::ScheduleAt(double time, EventFn fn) {
+  DMLSCALE_CHECK_GE(time, now_);
+  DMLSCALE_CHECK(fn != nullptr);
+  queue_.push(Event{time, next_seq_++, std::move(fn)});
+}
+
+double Simulator::Run() {
+  while (!queue_.empty()) {
+    Event event = queue_.top();
+    queue_.pop();
+    now_ = event.time;
+    ++events_executed_;
+    event.fn();
+  }
+  return now_;
+}
+
+}  // namespace dmlscale::sim

@@ -1,0 +1,54 @@
+#ifndef DMLSCALE_SIM_SIMULATOR_H_
+#define DMLSCALE_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace dmlscale::sim {
+
+/// Minimal discrete-event simulator core: a time-ordered queue of events
+/// with deterministic FIFO tie-breaking. All cluster simulations (collective
+/// communication, BSP supersteps) are built on this.
+class Simulator {
+ public:
+  using EventFn = std::function<void()>;
+
+  /// Current simulation time, seconds.
+  double Now() const { return now_; }
+
+  /// Schedules `fn` to run at `Now() + delay`. `delay` must be >= 0.
+  void Schedule(double delay, EventFn fn);
+
+  /// Schedules `fn` at an absolute time >= Now().
+  void ScheduleAt(double time, EventFn fn);
+
+  /// Runs until the queue is empty. Returns the final time.
+  double Run();
+
+  /// Number of events executed by Run() so far.
+  int64_t events_executed() const { return events_executed_; }
+
+ private:
+  struct Event {
+    double time;
+    int64_t seq;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  int64_t next_seq_ = 0;
+  int64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace dmlscale::sim
+
+#endif  // DMLSCALE_SIM_SIMULATOR_H_

@@ -1,0 +1,145 @@
+#include "bp/bp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace dmlscale::bp {
+namespace {
+
+void ExpectBeliefsMatchBruteForce(const PairwiseMrf& mrf, double tolerance) {
+  LoopyBp solver(&mrf);
+  BpRunResult run = solver.Run({.max_iterations = 200, .tolerance = 1e-10});
+  EXPECT_TRUE(run.converged);
+  auto exact = BruteForceMarginals(mrf);
+  ASSERT_TRUE(exact.ok());
+  auto beliefs = solver.Beliefs();
+  ASSERT_EQ(beliefs.size(), exact->size());
+  for (size_t i = 0; i < beliefs.size(); ++i) {
+    EXPECT_NEAR(beliefs[i], (*exact)[i], tolerance) << "index " << i;
+  }
+}
+
+TEST(LoopyBpTest, ExactOnSingleEdge) {
+  auto g = graph::Chain(2).value();
+  std::vector<double> unary{2.0, 1.0, 1.0, 1.0};
+  std::vector<double> pairwise{2.0, 1.0, 1.0, 2.0};
+  auto mrf = PairwiseMrf::Create(&g, 2, unary, pairwise).value();
+  ExpectBeliefsMatchBruteForce(mrf, 1e-9);
+}
+
+TEST(LoopyBpTest, ExactOnChain) {
+  // BP is exact on trees; a path is a tree.
+  auto g = graph::Chain(7).value();
+  Pcg32 rng(1);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.6, &rng).value();
+  ExpectBeliefsMatchBruteForce(mrf, 1e-8);
+}
+
+TEST(LoopyBpTest, ExactOnBinaryTree) {
+  auto g = graph::BinaryTree(9).value();
+  Pcg32 rng(2);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.5, &rng).value();
+  ExpectBeliefsMatchBruteForce(mrf, 1e-8);
+}
+
+TEST(LoopyBpTest, ExactOnStar) {
+  auto g = graph::Star(6).value();
+  Pcg32 rng(3);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.5, &rng).value();
+  ExpectBeliefsMatchBruteForce(mrf, 1e-8);
+}
+
+TEST(LoopyBpTest, ExactOnTreeWithThreeStates) {
+  auto g = graph::BinaryTree(6).value();
+  Pcg32 rng(4);
+  auto mrf = PairwiseMrf::Random(&g, 3, 0.4, &rng).value();
+  ExpectBeliefsMatchBruteForce(mrf, 1e-8);
+}
+
+TEST(LoopyBpTest, ApproximateOnLoopyGrid) {
+  // Loopy BP on a small grid converges and lands near the true marginals
+  // for weak coupling (Murphy et al. 1999).
+  auto g = graph::Grid2d(3, 3).value();
+  Pcg32 rng(5);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.3, &rng).value();
+  LoopyBp solver(&mrf);
+  BpRunResult run = solver.Run({.max_iterations = 500, .tolerance = 1e-9});
+  EXPECT_TRUE(run.converged);
+  auto exact = BruteForceMarginals(mrf).value();
+  auto beliefs = solver.Beliefs();
+  for (size_t i = 0; i < beliefs.size(); ++i) {
+    EXPECT_NEAR(beliefs[i], exact[i], 0.05) << "index " << i;
+  }
+}
+
+TEST(LoopyBpTest, BeliefsAreNormalized) {
+  auto g = graph::Grid2d(4, 4).value();
+  Pcg32 rng(6);
+  auto mrf = PairwiseMrf::Random(&g, 3, 0.4, &rng).value();
+  LoopyBp solver(&mrf);
+  solver.Run({.max_iterations = 50, .tolerance = 1e-8});
+  auto beliefs = solver.Beliefs();
+  for (graph::VertexId v = 0; v < 16; ++v) {
+    double sum = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      sum += beliefs[static_cast<size_t>(v * 3 + s)];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(LoopyBpTest, UniformMrfGivesUniformBeliefs) {
+  auto g = graph::Grid2d(3, 3).value();
+  std::vector<double> unary(18, 1.0);
+  std::vector<double> pairwise(4, 1.0);
+  auto mrf = PairwiseMrf::Create(&g, 2, unary, pairwise).value();
+  LoopyBp solver(&mrf);
+  BpRunResult run = solver.Run({.max_iterations = 10, .tolerance = 1e-12});
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.iterations, 1);  // already at the fixed point
+  for (double b : solver.Beliefs()) EXPECT_NEAR(b, 0.5, 1e-12);
+}
+
+TEST(LoopyBpTest, DeltaDecreasesTowardConvergence) {
+  auto g = graph::Grid2d(4, 4).value();
+  Pcg32 rng(7);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.4, &rng).value();
+  LoopyBp solver(&mrf);
+  double first = solver.Step();
+  double later = 0.0;
+  for (int i = 0; i < 20; ++i) later = solver.Step();
+  EXPECT_LT(later, first);
+}
+
+TEST(LoopyBpTest, RunStopsAtMaxIterations) {
+  auto g = graph::Grid2d(3, 3).value();
+  Pcg32 rng(8);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.9, &rng).value();
+  LoopyBp solver(&mrf);
+  BpRunResult run = solver.Run({.max_iterations = 3, .tolerance = 1e-300});
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.iterations, 3);
+}
+
+TEST(LoopyBpTest, StrongCouplingPolarizesBeliefs) {
+  // An attractive Ising chain with a strong prior on vertex 0 propagates
+  // that preference down the chain.
+  auto g = graph::Chain(5).value();
+  std::vector<double> unary(10, 1.0);
+  unary[0] = 10.0;  // vertex 0 strongly prefers state 0
+  std::vector<double> pairwise{std::exp(1.0), std::exp(-1.0), std::exp(-1.0),
+                               std::exp(1.0)};
+  auto mrf = PairwiseMrf::Create(&g, 2, unary, pairwise).value();
+  LoopyBp solver(&mrf);
+  solver.Run({.max_iterations = 100, .tolerance = 1e-10});
+  for (graph::VertexId v = 0; v < 5; ++v) {
+    auto b = solver.Belief(v);
+    EXPECT_GT(b[0], 0.5) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace dmlscale::bp

@@ -1,0 +1,94 @@
+#include "bp/mrf.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dmlscale::bp {
+namespace {
+
+TEST(PairwiseMrfTest, CreateValidatesSizes) {
+  auto g = graph::Chain(3).value();
+  std::vector<double> unary(6, 1.0);
+  std::vector<double> pairwise(4, 1.0);
+  EXPECT_TRUE(PairwiseMrf::Create(&g, 2, unary, pairwise).ok());
+  EXPECT_FALSE(PairwiseMrf::Create(&g, 2, std::vector<double>(5, 1.0),
+                                   pairwise)
+                   .ok());
+  EXPECT_FALSE(PairwiseMrf::Create(&g, 2, unary, std::vector<double>(3, 1.0))
+                   .ok());
+  EXPECT_FALSE(PairwiseMrf::Create(nullptr, 2, unary, pairwise).ok());
+  EXPECT_FALSE(PairwiseMrf::Create(&g, 1, unary, pairwise).ok());
+}
+
+TEST(PairwiseMrfTest, RejectsNonPositivePotentials) {
+  auto g = graph::Chain(2).value();
+  std::vector<double> unary{1.0, 0.0, 1.0, 1.0};
+  std::vector<double> pairwise(4, 1.0);
+  EXPECT_FALSE(PairwiseMrf::Create(&g, 2, unary, pairwise).ok());
+}
+
+TEST(PairwiseMrfTest, AccessorsReturnStoredValues) {
+  auto g = graph::Chain(2).value();
+  std::vector<double> unary{0.7, 0.3, 0.6, 0.4};
+  std::vector<double> pairwise{2.0, 0.5, 0.5, 2.0};
+  auto mrf = PairwiseMrf::Create(&g, 2, unary, pairwise);
+  ASSERT_TRUE(mrf.ok());
+  EXPECT_DOUBLE_EQ(mrf->Unary(0, 0), 0.7);
+  EXPECT_DOUBLE_EQ(mrf->Unary(1, 1), 0.4);
+  EXPECT_DOUBLE_EQ(mrf->Pairwise(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(mrf->Pairwise(1, 1), 2.0);
+}
+
+TEST(PairwiseMrfTest, RandomIsReproducible) {
+  auto g = graph::Grid2d(3, 3).value();
+  Pcg32 a(5), b(5);
+  auto m1 = PairwiseMrf::Random(&g, 2, 0.4, &a);
+  auto m2 = PairwiseMrf::Random(&g, 2, 0.4, &b);
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (graph::VertexId v = 0; v < 9; ++v) {
+    EXPECT_DOUBLE_EQ(m1->Unary(v, 0), m2->Unary(v, 0));
+  }
+}
+
+TEST(BruteForceMarginalsTest, SingleEdgeByHand) {
+  // Two binary vertices, one edge. Unary: phi0 = (2, 1), phi1 = (1, 1);
+  // pairwise psi(s,t) = 2 if s == t else 1.
+  auto g = graph::Chain(2).value();
+  std::vector<double> unary{2.0, 1.0, 1.0, 1.0};
+  std::vector<double> pairwise{2.0, 1.0, 1.0, 2.0};
+  auto mrf = PairwiseMrf::Create(&g, 2, unary, pairwise).value();
+  auto marginals = BruteForceMarginals(mrf);
+  ASSERT_TRUE(marginals.ok());
+  // Joint weights: (0,0)=4, (0,1)=2, (1,0)=1, (1,1)=2; Z = 9.
+  EXPECT_NEAR((*marginals)[0], 6.0 / 9.0, 1e-12);  // P(x0 = 0)
+  EXPECT_NEAR((*marginals)[1], 3.0 / 9.0, 1e-12);
+  EXPECT_NEAR((*marginals)[2], 5.0 / 9.0, 1e-12);  // P(x1 = 0)
+  EXPECT_NEAR((*marginals)[3], 4.0 / 9.0, 1e-12);
+}
+
+TEST(BruteForceMarginalsTest, MarginalsSumToOne) {
+  auto g = graph::Grid2d(2, 3).value();
+  Pcg32 rng(9);
+  auto mrf = PairwiseMrf::Random(&g, 3, 0.5, &rng).value();
+  auto marginals = BruteForceMarginals(mrf);
+  ASSERT_TRUE(marginals.ok());
+  for (graph::VertexId v = 0; v < 6; ++v) {
+    double sum = 0.0;
+    for (int s = 0; s < 3; ++s) {
+      sum += (*marginals)[static_cast<size_t>(v * 3 + s)];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(BruteForceMarginalsTest, RejectsLargeGraphs) {
+  auto g = graph::Grid2d(10, 10).value();
+  Pcg32 rng(10);
+  auto mrf = PairwiseMrf::Random(&g, 2, 0.5, &rng).value();
+  EXPECT_FALSE(BruteForceMarginals(mrf).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::bp

@@ -1,0 +1,74 @@
+#include "common/arg_parser.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale {
+namespace {
+
+ArgParser MustParse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  auto parsed = ArgParser::Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(parsed.ok());
+  return parsed.value();
+}
+
+TEST(ArgParserTest, KeyValuePairs) {
+  ArgParser args = MustParse({"--nodes=16", "--bandwidth=1e9"});
+  EXPECT_EQ(args.GetInt("nodes", 0), 16);
+  EXPECT_DOUBLE_EQ(args.GetDouble("bandwidth", 0.0), 1e9);
+}
+
+TEST(ArgParserTest, BareFlagIsTrue) {
+  ArgParser args = MustParse({"--verbose"});
+  EXPECT_TRUE(args.Has("verbose"));
+  EXPECT_TRUE(args.GetBool("verbose", false));
+}
+
+TEST(ArgParserTest, DefaultsWhenMissing) {
+  ArgParser args = MustParse({});
+  EXPECT_EQ(args.GetInt("nodes", 7), 7);
+  EXPECT_EQ(args.GetString("name", "x"), "x");
+  EXPECT_FALSE(args.GetBool("flag", false));
+  EXPECT_FALSE(args.Has("anything"));
+}
+
+TEST(ArgParserTest, Positionals) {
+  ArgParser args = MustParse({"input.txt", "--k=1", "output.txt"});
+  ASSERT_EQ(args.positionals().size(), 2u);
+  EXPECT_EQ(args.positionals()[0], "input.txt");
+  EXPECT_EQ(args.positionals()[1], "output.txt");
+}
+
+TEST(ArgParserTest, MalformedNumberFallsBackToDefault) {
+  ArgParser args = MustParse({"--n=abc"});
+  EXPECT_EQ(args.GetInt("n", 3), 3);
+  EXPECT_DOUBLE_EQ(args.GetDouble("n", 2.5), 2.5);
+}
+
+TEST(ArgParserTest, BoolSpellings) {
+  ArgParser args = MustParse({"--a=true", "--b=1", "--c=yes", "--d=no"});
+  EXPECT_TRUE(args.GetBool("a", false));
+  EXPECT_TRUE(args.GetBool("b", false));
+  EXPECT_TRUE(args.GetBool("c", false));
+  EXPECT_FALSE(args.GetBool("d", true));
+}
+
+TEST(ArgParserTest, RejectsBareDoubleDash) {
+  const char* argv[] = {"prog", "--"};
+  auto parsed = ArgParser::Parse(2, argv);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ArgParserTest, RejectsEmptyKey) {
+  const char* argv[] = {"prog", "--=value"};
+  auto parsed = ArgParser::Parse(2, argv);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ArgParserTest, LastValueWins) {
+  ArgParser args = MustParse({"--n=1", "--n=2"});
+  EXPECT_EQ(args.GetInt("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace dmlscale

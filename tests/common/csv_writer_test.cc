@@ -1,0 +1,56 @@
+#include "common/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace dmlscale {
+namespace {
+
+TEST(CsvWriterTest, BasicSerialization) {
+  CsvWriter csv({"n", "time"});
+  csv.AddRow({"1", "2.5"});
+  csv.AddRow({"2", "1.4"});
+  EXPECT_EQ(csv.ToString(), "n,time\n1,2.5\n2,1.4\n");
+}
+
+TEST(CsvWriterTest, QuotesSpecialCharacters) {
+  CsvWriter csv({"name", "note"});
+  csv.AddRow({"a,b", "say \"hi\""});
+  EXPECT_EQ(csv.ToString(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  CsvWriter csv({"v"});
+  csv.AddRow({std::string("line1\nline2")});
+  EXPECT_EQ(csv.ToString(), "v\n\"line1\nline2\"\n");
+}
+
+TEST(CsvWriterTest, DoubleRowsUseHighPrecision) {
+  CsvWriter csv({"x"});
+  csv.AddNumericRow(std::vector<double>{0.123456789});
+  EXPECT_NE(csv.ToString().find("0.123456789"), std::string::npos);
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip) {
+  CsvWriter csv({"a", "b"});
+  csv.AddRow({"1", "2"});
+  std::string path = ::testing::TempDir() + "/csv_writer_test.csv";
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileFailsOnBadPath) {
+  CsvWriter csv({"a"});
+  Status status = csv.WriteFile("/nonexistent-dir-zzz/file.csv");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace dmlscale

@@ -1,0 +1,127 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace dmlscale {
+namespace {
+
+TEST(Pcg32Test, DeterministicForSameSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint32(), b.NextUint32());
+  }
+}
+
+TEST(Pcg32Test, DifferentSeedsDiffer) {
+  Pcg32 a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(Pcg32Test, DifferentStreamsDiffer) {
+  Pcg32 a(1, 1), b(1, 2);
+  int differences = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.NextUint32() != b.NextUint32()) ++differences;
+  }
+  EXPECT_GT(differences, 24);
+}
+
+TEST(Pcg32Test, NextDoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Pcg32Test, NextBoundedRespectsBound) {
+  Pcg32 rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    uint32_t v = rng.NextBounded(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Rough uniformity: each bucket within 30% of expectation.
+  for (int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Pcg32Test, GaussianMoments) {
+  Pcg32 rng(11);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.NextGaussian();
+  EXPECT_NEAR(Mean(samples), 0.0, 0.03);
+  EXPECT_NEAR(StdDev(samples), 1.0, 0.03);
+}
+
+TEST(Pcg32Test, GaussianWithParams) {
+  Pcg32 rng(13);
+  std::vector<double> samples(20000);
+  for (auto& s : samples) s = rng.NextGaussian(5.0, 2.0);
+  EXPECT_NEAR(Mean(samples), 5.0, 0.08);
+  EXPECT_NEAR(StdDev(samples), 2.0, 0.08);
+}
+
+TEST(Pcg32Test, LogNormalMedianNearOne) {
+  Pcg32 rng(15);
+  std::vector<double> samples(20001);
+  for (auto& s : samples) s = rng.NextLogNormal(0.3);
+  std::sort(samples.begin(), samples.end());
+  double median = samples[samples.size() / 2];
+  EXPECT_NEAR(median, 1.0, 0.05);
+  for (double s : samples) EXPECT_GT(s, 0.0);
+}
+
+TEST(Pcg32Test, BernoulliFrequency) {
+  Pcg32 rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / 10000.0, 0.3, 0.02);
+}
+
+TEST(Pcg32Test, ShufflePreservesElements) {
+  Pcg32 rng(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(Pcg32Test, ShuffleActuallyPermutes) {
+  Pcg32 rng(21);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[static_cast<size_t>(i)] = i;
+  rng.Shuffle(&v);
+  bool any_moved = false;
+  for (int i = 0; i < 100; ++i) {
+    if (v[static_cast<size_t>(i)] != i) any_moved = true;
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(Pcg32Test, NextUint64CombinesTwoDraws) {
+  Pcg32 a(23), b(23);
+  uint64_t hi = b.NextUint32();
+  uint64_t lo = b.NextUint32();
+  EXPECT_EQ(a.NextUint64(), (hi << 32) | lo);
+}
+
+}  // namespace
+}  // namespace dmlscale

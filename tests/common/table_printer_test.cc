@@ -1,0 +1,55 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dmlscale {
+namespace {
+
+TEST(TablePrinterTest, PrintsHeaderAndRows) {
+  TablePrinter table({"n", "speedup"});
+  table.AddRow({"1", "1.0"});
+  table.AddRow({"2", "1.8"});
+  std::ostringstream os;
+  table.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("n"), std::string::npos);
+  EXPECT_NE(out.find("speedup"), std::string::npos);
+  EXPECT_NE(out.find("1.8"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, DoubleRowsFormatted) {
+  TablePrinter table({"a", "b"});
+  table.AddNumericRow(std::vector<double>{1.23456789, 2.0});
+  EXPECT_EQ(table.num_rows(), 1u);
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("1.235"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter table({"x", "longheader"});
+  table.AddRow({"verylongcell", "1"});
+  std::ostringstream os;
+  table.Print(os);
+  std::istringstream lines(os.str());
+  std::string header, rule, row;
+  std::getline(lines, header);
+  std::getline(lines, rule);
+  std::getline(lines, row);
+  // The second column starts at the same offset in header and data row.
+  EXPECT_EQ(header.find("longheader"), row.find("1"));
+}
+
+TEST(TablePrinterTest, EmptyTableStillPrintsHeader) {
+  TablePrinter table({"only"});
+  std::ostringstream os;
+  table.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 0u);
+}
+
+}  // namespace
+}  // namespace dmlscale

@@ -1,0 +1,112 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/barrier.h"
+
+namespace dmlscale {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitWork) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&] {
+    counter.fetch_add(1);
+    pool.Submit([&] { counter.fetch_add(10); });
+  });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPoolTest, ManyWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolSerializes) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(CyclicBarrierTest, ExactlyOneLeaderPerGeneration) {
+  const int kParties = 4;
+  const int kRounds = 25;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> leaders{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        if (barrier.Arrive()) leaders.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), kRounds);
+}
+
+TEST(CyclicBarrierTest, SinglePartyNeverBlocks) {
+  CyclicBarrier barrier(1);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(barrier.Arrive());
+  }
+}
+
+TEST(CyclicBarrierTest, SynchronizesPhases) {
+  const int kParties = 3;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 10; ++phase) {
+        phase_counter.fetch_add(1);
+        barrier.Arrive();
+        // After the barrier every thread must have completed this phase.
+        if (phase_counter.load() < (phase + 1) * kParties) {
+          violation.store(true);
+        }
+        barrier.Arrive();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace dmlscale

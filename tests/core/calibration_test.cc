@@ -1,0 +1,94 @@
+#include "core/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmlscale::core {
+namespace {
+
+std::function<double(int)> ComputeTerm() {
+  return [](int n) { return 10.0 / n; };
+}
+std::function<double(int)> CommTerm() {
+  return [](int n) { return n > 1 ? 0.5 * std::log2(static_cast<double>(n)) : 0.0; };
+}
+
+std::vector<TimingSample> SamplesFrom(double a, double b,
+                                      const std::vector<int>& nodes) {
+  std::vector<TimingSample> samples;
+  for (int n : nodes) {
+    samples.push_back({n, a * ComputeTerm()(n) + b * CommTerm()(n)});
+  }
+  return samples;
+}
+
+TEST(FitLinearModelTest, RecoversExactCoefficients) {
+  auto samples = SamplesFrom(1.25, 0.8, {1, 2, 4, 8, 16});
+  auto fit = FitLinearModel({ComputeTerm(), CommTerm()}, samples);
+  ASSERT_TRUE(fit.ok());
+  ASSERT_EQ(fit->coefficients.size(), 2u);
+  EXPECT_NEAR(fit->coefficients[0], 1.25, 1e-9);
+  EXPECT_NEAR(fit->coefficients[1], 0.8, 1e-9);
+  EXPECT_NEAR(fit->rmse, 0.0, 1e-9);
+  EXPECT_NEAR(fit->r_squared, 1.0, 1e-12);
+}
+
+TEST(FitLinearModelTest, NoisySamplesStillClose) {
+  auto samples = SamplesFrom(1.0, 1.0, {1, 2, 3, 4, 6, 8, 12, 16, 24, 32});
+  // Deterministic +-2% perturbation.
+  for (size_t i = 0; i < samples.size(); ++i) {
+    samples[i].seconds *= (i % 2 == 0) ? 1.02 : 0.98;
+  }
+  auto fit = FitLinearModel({ComputeTerm(), CommTerm()}, samples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_NEAR(fit->coefficients[0], 1.0, 0.05);
+  EXPECT_NEAR(fit->coefficients[1], 1.0, 0.10);
+  EXPECT_GT(fit->r_squared, 0.99);
+}
+
+TEST(FitLinearModelTest, RejectsBadInput) {
+  auto samples = SamplesFrom(1.0, 1.0, {1, 2});
+  EXPECT_FALSE(FitLinearModel({}, samples).ok());
+  EXPECT_FALSE(
+      FitLinearModel({ComputeTerm(), CommTerm()}, {{1, 1.0}}).ok());
+  std::vector<TimingSample> bad{{0, 1.0}, {2, 1.0}};
+  EXPECT_FALSE(FitLinearModel({ComputeTerm()}, bad).ok());
+  std::vector<TimingSample> nonpos{{1, 0.0}, {2, 1.0}};
+  EXPECT_FALSE(FitLinearModel({ComputeTerm()}, nonpos).ok());
+}
+
+TEST(FitLinearModelTest, DetectsCollinearBasis) {
+  auto same = [](int n) { return 1.0 / n; };
+  auto samples = SamplesFrom(1.0, 0.0, {1, 2, 4, 8});
+  auto fit = FitLinearModel({same, same}, samples);
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CalibratedModelTest, EvaluatesScaledSum) {
+  CalibratedModel model({ComputeTerm(), CommTerm()}, {2.0, 0.5});
+  EXPECT_DOUBLE_EQ(model.Seconds(1), 20.0);
+  EXPECT_DOUBLE_EQ(model.Seconds(4), 2.0 * 2.5 + 0.5 * 1.0);
+}
+
+TEST(CalibrateComputeCommTest, EndToEnd) {
+  // A "cluster" whose effective FLOPS is 20% lower than spec and whose
+  // network behaves exactly as modeled.
+  auto samples = SamplesFrom(1.25, 1.0, {1, 2, 4, 8, 16, 32});
+  auto model = CalibrateComputeComm(ComputeTerm(), CommTerm(), samples);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR((*model)->coefficients()[0], 1.25, 1e-9);
+  EXPECT_NEAR((*model)->coefficients()[1], 1.0, 1e-9);
+  // Predicts unseen node counts correctly.
+  EXPECT_NEAR((*model)->Seconds(64),
+              1.25 * ComputeTerm()(64) + CommTerm()(64), 1e-9);
+}
+
+TEST(CalibrateComputeCommTest, RejectsNullTerms) {
+  auto samples = SamplesFrom(1.0, 1.0, {1, 2, 4});
+  EXPECT_FALSE(CalibrateComputeComm(nullptr, CommTerm(), samples).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::core

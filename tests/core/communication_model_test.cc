@@ -1,0 +1,164 @@
+#include "core/communication_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+namespace dmlscale::core {
+namespace {
+
+LinkSpec GigabitLink() { return LinkSpec{.bandwidth_bps = 1e9}; }
+
+TEST(SharedMemoryCommTest, AlwaysZero) {
+  SharedMemoryComm comm;
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(80), 0.0);
+}
+
+TEST(LinearCommTest, GrowsLinearly) {
+  LinearComm comm(1e6, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 2e6 / 1e9);
+  EXPECT_DOUBLE_EQ(comm.Seconds(10), 1e7 / 1e9);
+  EXPECT_DOUBLE_EQ(comm.Seconds(20), 2.0 * comm.Seconds(10));
+}
+
+TEST(FixedVolumeCommTest, IndependentOfN) {
+  FixedVolumeComm comm(5e8, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 0.5);
+  EXPECT_DOUBLE_EQ(comm.Seconds(64), 0.5);
+}
+
+TEST(TreeCommTest, CeilLog2Rounds) {
+  TreeComm comm(1e9, GigabitLink());  // 1 second per round
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 1.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(3), 2.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(4), 2.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(5), 3.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(8), 3.0);
+}
+
+TEST(TreeCommTest, RoundsFactorScales) {
+  TreeComm one(1e9, GigabitLink(), 1.0);
+  TreeComm two(1e9, GigabitLink(), 2.0);
+  EXPECT_DOUBLE_EQ(two.Seconds(8), 2.0 * one.Seconds(8));
+}
+
+TEST(TorrentBroadcastCommTest, ContinuousLog) {
+  TorrentBroadcastComm comm(1e9, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 1.0);
+  EXPECT_NEAR(comm.Seconds(8), 3.0, 1e-12);
+  EXPECT_NEAR(comm.Seconds(10), std::log2(10.0), 1e-12);
+}
+
+TEST(TwoWaveAggregationCommTest, SqrtStaircase) {
+  TwoWaveAggregationComm comm(1e9, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(4), 2.0 * 2.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(9), 2.0 * 3.0);
+  // The staircase: 10..16 all cost ceil(sqrt(n)) = 4.
+  EXPECT_DOUBLE_EQ(comm.Seconds(10), 2.0 * 4.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(16), 2.0 * 4.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(17), 2.0 * 5.0);
+}
+
+TEST(RingAllReduceCommTest, ApproachesTwiceVolume) {
+  RingAllReduceComm comm(1e9, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 1.0);
+  // 2 * (n-1)/n -> 2 as n grows; bandwidth-optimal.
+  EXPECT_NEAR(comm.Seconds(1000), 2.0, 0.01);
+  EXPECT_LT(comm.Seconds(1000), 2.0);
+}
+
+TEST(RecursiveDoublingCommTest, CeilLog2Rounds) {
+  RecursiveDoublingComm comm(1e9, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), 1.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(8), 3.0);
+  EXPECT_DOUBLE_EQ(comm.Seconds(9), 4.0);
+}
+
+TEST(RecursiveDoublingCommTest, LatencyBeatsRingForSmallMessages) {
+  // Few bits, high latency: log2(n) rounds beat 2(n-1) ring steps.
+  LinkSpec link{.bandwidth_bps = 1e9, .latency_s = 1e-3};
+  RecursiveDoublingComm butterfly(1e3, link);
+  RingAllReduceComm ring(1e3, link);
+  EXPECT_LT(butterfly.Seconds(64), ring.Seconds(64));
+  // Large messages: ring's bandwidth optimality wins.
+  RecursiveDoublingComm big_butterfly(1e9, link);
+  RingAllReduceComm big_ring(1e9, link);
+  EXPECT_GT(big_butterfly.Seconds(64), big_ring.Seconds(64));
+}
+
+TEST(ShuffleCommTest, PerNodeVolumeShrinks) {
+  ShuffleComm comm(1e9, GigabitLink());
+  EXPECT_DOUBLE_EQ(comm.Seconds(1), 0.0);
+  // n=2: each node sends half of its 0.5e9 share.
+  EXPECT_DOUBLE_EQ(comm.Seconds(2), (1e9 / 2.0) * 0.5 / 1e9);
+  EXPECT_GT(comm.Seconds(2), comm.Seconds(10));
+}
+
+TEST(CompositeCommTest, SumsStages) {
+  auto composite = CompositeComm::Of(
+      std::make_unique<TorrentBroadcastComm>(1e9, GigabitLink()),
+      std::make_unique<TwoWaveAggregationComm>(1e9, GigabitLink()));
+  EXPECT_DOUBLE_EQ(composite->Seconds(4), 2.0 + 4.0);
+  EXPECT_NE(composite->name().find("torrent"), std::string::npos);
+  EXPECT_NE(composite->name().find("two-wave"), std::string::npos);
+}
+
+TEST(LatencyTest, LatencyAddsPerRound) {
+  LinkSpec link{.bandwidth_bps = 1e9, .latency_s = 0.001};
+  TreeComm comm(1e9, link);
+  EXPECT_DOUBLE_EQ(comm.Seconds(4), 2.0 * (1.0 + 0.001));
+}
+
+// Property sweep: all models are zero at n = 1 and non-negative after.
+class CommZeroAtOneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommZeroAtOneTest, ZeroAtOneNodeNonNegativeAfter) {
+  int n = GetParam();
+  std::vector<std::unique_ptr<CommunicationModel>> models;
+  models.push_back(std::make_unique<SharedMemoryComm>());
+  models.push_back(std::make_unique<LinearComm>(1e6, GigabitLink()));
+  models.push_back(std::make_unique<FixedVolumeComm>(1e6, GigabitLink()));
+  models.push_back(std::make_unique<TreeComm>(1e6, GigabitLink()));
+  models.push_back(std::make_unique<TorrentBroadcastComm>(1e6, GigabitLink()));
+  models.push_back(
+      std::make_unique<TwoWaveAggregationComm>(1e6, GigabitLink()));
+  models.push_back(std::make_unique<RingAllReduceComm>(1e6, GigabitLink()));
+  models.push_back(
+      std::make_unique<RecursiveDoublingComm>(1e6, GigabitLink()));
+  models.push_back(std::make_unique<ShuffleComm>(1e6, GigabitLink()));
+  for (const auto& model : models) {
+    EXPECT_DOUBLE_EQ(model->Seconds(1), 0.0) << model->name();
+    EXPECT_GE(model->Seconds(n), 0.0) << model->name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CommZeroAtOneTest,
+                         ::testing::Values(2, 3, 5, 8, 16, 50, 100));
+
+// Asymptotic ordering at large n: ring < tree-log < two-wave-sqrt < linear,
+// the hierarchy the paper exploits (Section V-A).
+TEST(OrderingTest, TopologyHierarchyAtScale) {
+  LinkSpec link = GigabitLink();
+  double bits = 32.0 * 25e6;
+  RingAllReduceComm ring(bits, link);
+  TreeComm tree(bits, link);
+  TwoWaveAggregationComm wave(bits, link);
+  LinearComm linear(bits, link);
+  for (int n : {64, 256, 1024}) {
+    EXPECT_LT(ring.Seconds(n), tree.Seconds(n)) << n;
+    EXPECT_LT(tree.Seconds(n), wave.Seconds(n)) << n;
+    EXPECT_LT(wave.Seconds(n), linear.Seconds(n)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace dmlscale::core

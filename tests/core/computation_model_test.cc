@@ -1,0 +1,70 @@
+#include "core/computation_model.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale::core {
+namespace {
+
+NodeSpec UnitNode() {
+  return NodeSpec{.name = "unit", .peak_flops = 1e9, .efficiency = 1.0};
+}
+
+TEST(PerfectlyParallelComputeTest, DividesWorkByN) {
+  PerfectlyParallelCompute compute(1e9, UnitNode());
+  EXPECT_DOUBLE_EQ(compute.Seconds(1), 1.0);
+  EXPECT_DOUBLE_EQ(compute.Seconds(2), 0.5);
+  EXPECT_DOUBLE_EQ(compute.Seconds(10), 0.1);
+}
+
+TEST(PerfectlyParallelComputeTest, EfficiencyScalesThroughput) {
+  NodeSpec node{.name = "n", .peak_flops = 1e9, .efficiency = 0.5};
+  PerfectlyParallelCompute compute(1e9, node);
+  EXPECT_DOUBLE_EQ(compute.Seconds(1), 2.0);
+}
+
+TEST(PerfectlyParallelComputeTest, ZeroWorkIsFree) {
+  PerfectlyParallelCompute compute(0.0, UnitNode());
+  EXPECT_DOUBLE_EQ(compute.Seconds(4), 0.0);
+}
+
+TEST(BottleneckComputeTest, UsesMaxShare) {
+  // Imbalanced shares: the max share shrinks slower than total/n.
+  BottleneckCompute compute(
+      [](int n) { return 1e9 / n + 1e8; }, UnitNode(), "skewed");
+  EXPECT_DOUBLE_EQ(compute.Seconds(1), 1.1);
+  EXPECT_DOUBLE_EQ(compute.Seconds(10), 0.2);
+  EXPECT_EQ(compute.name(), "skewed");
+}
+
+TEST(AmdahlComputeTest, SerialFractionBoundsSpeedup) {
+  AmdahlCompute compute(1e9, 0.1, UnitNode());
+  EXPECT_DOUBLE_EQ(compute.Seconds(1), 1.0);
+  // Infinite nodes approach the serial fraction.
+  EXPECT_NEAR(compute.Seconds(1000000), 0.1, 1e-5);
+  // Speedup at n=10: 1 / (0.1 + 0.09) ~ 5.26, Amdahl's law.
+  EXPECT_NEAR(compute.Seconds(1) / compute.Seconds(10), 1.0 / 0.19, 1e-9);
+}
+
+TEST(AmdahlComputeTest, ZeroSerialFractionIsPerfect) {
+  AmdahlCompute amdahl(1e9, 0.0, UnitNode());
+  PerfectlyParallelCompute perfect(1e9, UnitNode());
+  for (int n : {1, 2, 7, 32}) {
+    EXPECT_DOUBLE_EQ(amdahl.Seconds(n), perfect.Seconds(n));
+  }
+}
+
+class MonotoneDecreaseTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotoneDecreaseTest, MoreNodesNeverSlower) {
+  int n = GetParam();
+  PerfectlyParallelCompute perfect(5e9, UnitNode());
+  AmdahlCompute amdahl(5e9, 0.2, UnitNode());
+  EXPECT_LE(perfect.Seconds(n + 1), perfect.Seconds(n));
+  EXPECT_LE(amdahl.Seconds(n + 1), amdahl.Seconds(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MonotoneDecreaseTest,
+                         ::testing::Range(1, 20));
+
+}  // namespace
+}  // namespace dmlscale::core

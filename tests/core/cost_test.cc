@@ -1,0 +1,81 @@
+#include "core/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale::core {
+namespace {
+
+FunctionModel SaturatingModel() {
+  // t(n) = 10/n + 0.1 (n - 1): speedup-optimal at n = 10.
+  return FunctionModel([](int n) { return 10.0 / n + 0.1 * (n - 1); },
+                       "saturating");
+}
+
+TEST(ComputeCostTest, NodeSecondsCurve) {
+  FunctionModel model([](int n) { return 10.0 / n; }, "perfect");
+  auto curve = ComputeCost(model, 5);
+  ASSERT_TRUE(curve.ok());
+  // Perfect scaling: n * t(n) = 10 for all n.
+  for (double c : curve->node_seconds) EXPECT_DOUBLE_EQ(c, 10.0);
+}
+
+TEST(ComputeCostTest, SublinearSpeedupMakesOneNodeCheapest) {
+  auto curve = ComputeCost(SaturatingModel(), 32);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->CheapestNodes(), 1);
+  // Cost grows monotonically for this model.
+  for (size_t i = 1; i < curve->node_seconds.size(); ++i) {
+    EXPECT_GT(curve->node_seconds[i], curve->node_seconds[i - 1]);
+  }
+}
+
+TEST(ComputeCostTest, RejectsBadInput) {
+  FunctionModel model([](int) { return 0.0; }, "zero");
+  EXPECT_FALSE(ComputeCost(model, 4).ok());
+  FunctionModel good([](int n) { return 1.0 / n; }, "good");
+  EXPECT_FALSE(ComputeCost(good, 0).ok());
+}
+
+TEST(CheapestWithinDeadlineTest, PicksMinimalCostMeetingDeadline) {
+  FunctionModel model = SaturatingModel();
+  // t(1)=10, t(2)=5.1, t(3)=3.53, t(4)=2.8, t(5)=2.4.
+  auto n = CheapestWithinDeadline(model, 32, 3.0);
+  ASSERT_TRUE(n.ok());
+  // n=4 meets the deadline at cost 11.2; larger n cost more.
+  EXPECT_EQ(n.value(), 4);
+}
+
+TEST(CheapestWithinDeadlineTest, LooseDeadlineMeansFewNodes) {
+  auto n = CheapestWithinDeadline(SaturatingModel(), 32, 100.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 1);
+}
+
+TEST(CheapestWithinDeadlineTest, ImpossibleDeadlineIsNotFound) {
+  auto n = CheapestWithinDeadline(SaturatingModel(), 32, 0.5);
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheapestWithinDeadlineTest, RejectsNonPositiveDeadline) {
+  EXPECT_FALSE(CheapestWithinDeadline(SaturatingModel(), 32, 0.0).ok());
+}
+
+TEST(MaxNodesAtEfficiencyTest, FindsLargestEfficientScale) {
+  FunctionModel model = SaturatingModel();
+  // Efficiency s(n)/n: at n=2, s=1.96 -> 0.98; decreasing in n.
+  auto at90 = MaxNodesAtEfficiency(model, 32, 0.90);
+  ASSERT_TRUE(at90.ok());
+  auto at50 = MaxNodesAtEfficiency(model, 32, 0.50);
+  ASSERT_TRUE(at50.ok());
+  EXPECT_GT(at50.value(), at90.value());
+  EXPECT_GE(at90.value(), 1);
+}
+
+TEST(MaxNodesAtEfficiencyTest, RejectsBadEfficiency) {
+  EXPECT_FALSE(MaxNodesAtEfficiency(SaturatingModel(), 8, 0.0).ok());
+  EXPECT_FALSE(MaxNodesAtEfficiency(SaturatingModel(), 8, 1.5).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::core

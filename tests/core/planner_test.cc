@@ -1,0 +1,78 @@
+#include "core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmlscale::core {
+namespace {
+
+// Strong-scalable model with a communication floor:
+// t(n, d) = 10 d / n + 0.1 (n - 1).
+double Time(int n, double d) { return 10.0 * d / n + 0.1 * (n - 1); }
+
+TEST(CapacityPlannerTest, NodesToSpeedUp) {
+  CapacityPlanner planner(Time, 64);
+  // t(1) = 10; halving needs t(n) <= 5: n=2 gives 5.1, n=3 gives 3.53.
+  auto n = planner.NodesToSpeedUp(1, 2.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 3);
+}
+
+TEST(CapacityPlannerTest, NodesForTargetTime) {
+  CapacityPlanner planner(Time, 64);
+  auto n = planner.NodesForTargetTime(2.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_LE(Time(n.value(), 1.0), 2.0);
+  EXPECT_GT(Time(n.value() - 1, 1.0), 2.0);
+}
+
+TEST(CapacityPlannerTest, ImpossibleTargetIsNotFound) {
+  CapacityPlanner planner(Time, 64);
+  // The communication floor makes sub-0.5s impossible.
+  auto n = planner.NodesForTargetTime(0.5);
+  EXPECT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CapacityPlannerTest, WorkloadGrowth) {
+  CapacityPlanner planner(Time, 64);
+  // Currently 4 nodes: t = 2.8. Workload doubles; find n with
+  // t(n, 2) <= 2.8: 20/n + 0.1(n-1) <= 2.8 -> n = 9 gives 3.02, n=10: 2.9,
+  // n=11: 2.82, n=12: 2.77.
+  auto n = planner.NodesForWorkloadGrowth(4, 2.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 12);
+}
+
+TEST(CapacityPlannerTest, GrowthBeyondCapacityIsNotFound) {
+  CapacityPlanner planner(Time, 8);
+  auto n = planner.NodesForWorkloadGrowth(8, 100.0);
+  EXPECT_FALSE(n.ok());
+}
+
+TEST(CapacityPlannerTest, OptimalNodesMinimizesTime) {
+  CapacityPlanner planner(Time, 64);
+  int optimal = planner.OptimalNodes();
+  // argmin of 10/n + 0.1(n-1) is n = 10.
+  EXPECT_EQ(optimal, 10);
+}
+
+TEST(CapacityPlannerTest, RejectsBadArguments) {
+  CapacityPlanner planner(Time, 16);
+  EXPECT_FALSE(planner.NodesToSpeedUp(0, 2.0).ok());
+  EXPECT_FALSE(planner.NodesToSpeedUp(17, 2.0).ok());
+  EXPECT_FALSE(planner.NodesToSpeedUp(1, -1.0).ok());
+  EXPECT_FALSE(planner.NodesForTargetTime(0.0).ok());
+  EXPECT_FALSE(planner.NodesForWorkloadGrowth(1, 0.0).ok());
+}
+
+TEST(CapacityPlannerTest, GrowthOfOneIsCurrentNodes) {
+  CapacityPlanner planner(Time, 16);
+  auto n = planner.NodesForWorkloadGrowth(5, 1.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 5);
+}
+
+}  // namespace
+}  // namespace dmlscale::core

@@ -1,0 +1,128 @@
+#include "engine/dp_sgd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+
+namespace dmlscale::engine {
+namespace {
+
+nn::Dataset MakeData(int64_t examples, Pcg32* rng) {
+  auto data = nn::SyntheticClassification(examples, 6, 3, 0.3, rng);
+  EXPECT_TRUE(data.ok());
+  return std::move(data).value();
+}
+
+// The core equivalence: data-parallel GD with any worker count produces the
+// same parameter trajectory as sequential batch GD. This is precisely the
+// data-parallel structure of Section IV-A.
+TEST(DataParallelSgdTest, MatchesSequentialBatchGradientDescent) {
+  Pcg32 rng(1);
+  nn::Dataset data = MakeData(64, &rng);
+  nn::SoftmaxCrossEntropyLoss loss;
+
+  Pcg32 net_rng(2);
+  nn::Network sequential = nn::Network::FullyConnected({6, 10, 3}, &net_rng);
+  nn::Network parallel_master = sequential.Clone();
+
+  nn::SgdOptimizer opt_seq(0.1);
+  nn::SgdOptimizer opt_par(0.1);
+  DataParallelSgd dp(&parallel_master, /*num_workers=*/4, /*num_threads=*/2);
+
+  for (int iter = 0; iter < 5; ++iter) {
+    auto seq_loss =
+        nn::TrainBatch(&sequential, data.features, data.targets, loss,
+                       &opt_seq);
+    auto par = dp.TrainIteration(data, loss, &opt_par);
+    ASSERT_TRUE(seq_loss.ok());
+    ASSERT_TRUE(par.ok());
+    EXPECT_NEAR(par->loss, seq_loss.value(), 1e-9) << "iter " << iter;
+  }
+
+  // Parameters agree to floating-point accumulation error.
+  auto seq_params = sequential.Parameters();
+  auto par_params = parallel_master.Parameters();
+  ASSERT_EQ(seq_params.size(), par_params.size());
+  for (size_t p = 0; p < seq_params.size(); ++p) {
+    for (int64_t i = 0; i < seq_params[p]->size(); ++i) {
+      EXPECT_NEAR((*seq_params[p])[i], (*par_params[p])[i], 1e-9);
+    }
+  }
+}
+
+TEST(DataParallelSgdTest, WorkerCountInvariance) {
+  Pcg32 rng(3);
+  nn::Dataset data = MakeData(30, &rng);
+  nn::SoftmaxCrossEntropyLoss loss;
+  Pcg32 net_rng(4);
+  nn::Network reference = nn::Network::FullyConnected({6, 8, 3}, &net_rng);
+
+  std::vector<double> reference_params;
+  for (int workers : {1, 2, 3, 8}) {
+    nn::Network master = reference.Clone();
+    nn::SgdOptimizer optimizer(0.2);
+    DataParallelSgd dp(&master, workers, 2);
+    for (int iter = 0; iter < 3; ++iter) {
+      ASSERT_TRUE(dp.TrainIteration(data, loss, &optimizer).ok());
+    }
+    std::vector<double> flat;
+    for (nn::Tensor* t : master.Parameters()) {
+      for (int64_t i = 0; i < t->size(); ++i) flat.push_back((*t)[i]);
+    }
+    if (reference_params.empty()) {
+      reference_params = flat;
+    } else {
+      ASSERT_EQ(flat.size(), reference_params.size());
+      for (size_t i = 0; i < flat.size(); ++i) {
+        EXPECT_NEAR(flat[i], reference_params[i], 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DataParallelSgdTest, MoreWorkersThanExamples) {
+  Pcg32 rng(5);
+  nn::Dataset data = MakeData(3, &rng);
+  nn::SoftmaxCrossEntropyLoss loss;
+  Pcg32 net_rng(6);
+  nn::Network master = nn::Network::FullyConnected({6, 3}, &net_rng);
+  nn::SgdOptimizer optimizer(0.1);
+  DataParallelSgd dp(&master, /*num_workers=*/8, /*num_threads=*/2);
+  auto result = dp.TrainIteration(data, loss, &optimizer);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->loss, 0.0);
+}
+
+TEST(DataParallelSgdTest, TrainingConverges) {
+  Pcg32 rng(7);
+  nn::Dataset data = MakeData(120, &rng);
+  nn::SoftmaxCrossEntropyLoss loss;
+  Pcg32 net_rng(8);
+  nn::Network master = nn::Network::FullyConnected({6, 12, 3}, &net_rng);
+  nn::SgdOptimizer optimizer(0.5);
+  DataParallelSgd dp(&master, 4, 2);
+  double first = 0.0, last = 0.0;
+  for (int iter = 0; iter < 40; ++iter) {
+    auto result = dp.TrainIteration(data, loss, &optimizer);
+    ASSERT_TRUE(result.ok());
+    if (iter == 0) first = result->loss;
+    last = result->loss;
+  }
+  EXPECT_LT(last, first * 0.6);
+}
+
+TEST(DataParallelSgdTest, RejectsEmptyBatchAndNullOptimizer) {
+  Pcg32 net_rng(9);
+  nn::Network master = nn::Network::FullyConnected({2, 2}, &net_rng);
+  DataParallelSgd dp(&master, 2, 1);
+  nn::SoftmaxCrossEntropyLoss loss;
+  nn::Dataset empty{nn::Tensor({0, 2}), nn::Tensor({0, 2})};
+  nn::SgdOptimizer optimizer(0.1);
+  EXPECT_FALSE(dp.TrainIteration(empty, loss, &optimizer).ok());
+  Pcg32 rng(10);
+  nn::Dataset data = MakeData(4, &rng);
+  EXPECT_FALSE(dp.TrainIteration(data, loss, nullptr).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::engine

@@ -1,0 +1,77 @@
+#include "graph/degree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dmlscale::graph {
+namespace {
+
+TEST(DegreeStatsTest, UniformSequence) {
+  DegreeStats stats = ComputeDegreeStats(std::vector<int64_t>{4, 4, 4, 4});
+  EXPECT_EQ(stats.min_degree, 4);
+  EXPECT_EQ(stats.max_degree, 4);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 4.0);
+  EXPECT_DOUBLE_EQ(stats.stddev_degree, 0.0);
+  EXPECT_NEAR(stats.gini, 0.0, 1e-12);
+}
+
+TEST(DegreeStatsTest, SkewedSequence) {
+  std::vector<int64_t> degrees(99, 1);
+  degrees.push_back(1000);
+  DegreeStats stats = ComputeDegreeStats(degrees);
+  EXPECT_EQ(stats.max_degree, 1000);
+  EXPECT_EQ(stats.min_degree, 1);
+  EXPECT_GT(stats.gini, 0.8);
+  EXPECT_GT(stats.p99_degree, 1.0);
+}
+
+TEST(DegreeStatsTest, EmptyInput) {
+  DegreeStats stats = ComputeDegreeStats(std::vector<int64_t>{});
+  EXPECT_EQ(stats.max_degree, 0);
+  EXPECT_DOUBLE_EQ(stats.mean_degree, 0.0);
+}
+
+TEST(DegreeStatsTest, GraphOverloadMatchesSequence) {
+  auto g = Star(10);
+  ASSERT_TRUE(g.ok());
+  DegreeStats from_graph = ComputeDegreeStats(*g);
+  DegreeStats from_seq = ComputeDegreeStats(g->DegreeSequence());
+  EXPECT_EQ(from_graph.max_degree, from_seq.max_degree);
+  EXPECT_DOUBLE_EQ(from_graph.mean_degree, from_seq.mean_degree);
+}
+
+TEST(DegreeHistogramTest, Log2Buckets) {
+  // degrees: 1 -> bucket 0; 2,3 -> bucket 1; 4..7 -> bucket 2.
+  auto hist = DegreeHistogramLog2({1, 2, 3, 4, 7, 0});
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2);  // degree 0 and 1
+  EXPECT_EQ(hist[1], 2);
+  EXPECT_EQ(hist[2], 2);
+}
+
+TEST(DegreeHistogramTest, PowerLawHasLongTail) {
+  Pcg32 rng(8);
+  auto degrees = PowerLawDegreeSequence(50000, 200000, 2.2, 1, 3000, &rng);
+  ASSERT_TRUE(degrees.ok());
+  auto hist = DegreeHistogramLog2(*degrees);
+  // Monotone-ish decay: the first bucket dominates the fifth.
+  ASSERT_GT(hist.size(), 5u);
+  EXPECT_GT(hist[0] + hist[1], 10 * hist[5]);
+}
+
+TEST(DegreeStatsTest, BaGraphSkewedErUniform) {
+  Pcg32 rng(9);
+  auto ba = BarabasiAlbert(3000, 3, &rng);
+  auto er = ErdosRenyi(3000, ba->num_edges(), &rng);
+  ASSERT_TRUE(ba.ok());
+  ASSERT_TRUE(er.ok());
+  DegreeStats ba_stats = ComputeDegreeStats(*ba);
+  DegreeStats er_stats = ComputeDegreeStats(*er);
+  // Same edge count, but preferential attachment is much more skewed.
+  EXPECT_GT(ba_stats.gini, er_stats.gini);
+  EXPECT_GT(ba_stats.max_degree, er_stats.max_degree);
+}
+
+}  // namespace
+}  // namespace dmlscale::graph

@@ -1,0 +1,143 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dmlscale::graph {
+namespace {
+
+TEST(ErdosRenyiTest, ExactEdgeCount) {
+  Pcg32 rng(1);
+  auto g = ErdosRenyi(100, 250, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 100);
+  EXPECT_EQ(g->num_edges(), 250);
+}
+
+TEST(ErdosRenyiTest, RejectsTooManyEdges) {
+  Pcg32 rng(1);
+  EXPECT_FALSE(ErdosRenyi(4, 7, &rng).ok());  // max is 6
+  EXPECT_TRUE(ErdosRenyi(4, 6, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, Deterministic) {
+  Pcg32 a(9), b(9);
+  auto g1 = ErdosRenyi(50, 100, &a);
+  auto g2 = ErdosRenyi(50, 100, &b);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->DegreeSequence(), g2->DegreeSequence());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountAndSkew) {
+  Pcg32 rng(2);
+  auto g = BarabasiAlbert(2000, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 2000);
+  // m(m+1)/2 seed edges + 3 per subsequent vertex.
+  EXPECT_EQ(g->num_edges(), 6 + 3 * (2000 - 4));
+  // Preferential attachment produces hubs: max degree far above mean.
+  double mean = 2.0 * static_cast<double>(g->num_edges()) / 2000.0;
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 5.0 * mean);
+}
+
+TEST(RMatTest, ProducesRequestedEdges) {
+  Pcg32 rng(3);
+  auto g = RMat(10, 2000, 0.57, 0.19, 0.19, 0.05, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 1024);
+  EXPECT_EQ(g->num_edges(), 2000);
+  // R-MAT with skewed quadrant probabilities also produces hubs.
+  double mean = 2.0 * 2000.0 / 1024.0;
+  EXPECT_GT(static_cast<double>(g->MaxDegree()), 3.0 * mean);
+}
+
+TEST(RMatTest, RejectsBadProbabilities) {
+  Pcg32 rng(3);
+  EXPECT_FALSE(RMat(5, 10, 0.5, 0.5, 0.5, 0.5, &rng).ok());
+  EXPECT_FALSE(RMat(0, 10, 0.25, 0.25, 0.25, 0.25, &rng).ok());
+}
+
+TEST(Grid2dTest, StructureCorrect) {
+  auto g = Grid2d(3, 4);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 12);
+  // Edges: 3 rows * 3 horizontal + 2 * 4 vertical = 9 + 8 = 17.
+  EXPECT_EQ(g->num_edges(), 17);
+  // Corner degree 2, interior degree 4.
+  EXPECT_EQ(g->Degree(0), 2);
+  EXPECT_EQ(g->Degree(5), 4);
+}
+
+TEST(StarTest, HubDegree) {
+  auto g = Star(10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 9);
+  EXPECT_EQ(g->Degree(0), 9);
+  EXPECT_EQ(g->Degree(5), 1);
+}
+
+TEST(CompleteTest, AllPairs) {
+  auto g = Complete(6);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 15);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g->Degree(v), 5);
+}
+
+TEST(ChainTest, PathStructure) {
+  auto g = Chain(5);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 4);
+  EXPECT_EQ(g->Degree(0), 1);
+  EXPECT_EQ(g->Degree(2), 2);
+  EXPECT_EQ(g->Degree(4), 1);
+}
+
+TEST(BinaryTreeTest, TreeHasVMinusOneEdges) {
+  auto g = BinaryTree(15);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 14);
+  EXPECT_EQ(g->Degree(0), 2);   // root
+  EXPECT_EQ(g->Degree(14), 1);  // leaf
+}
+
+TEST(PowerLawDegreeSequenceTest, MatchesTargets) {
+  Pcg32 rng(4);
+  const int64_t v = 100000, e = 600000, dmax = 5000;
+  auto degrees = PowerLawDegreeSequence(v, e, 2.1, 1, dmax, &rng);
+  ASSERT_TRUE(degrees.ok());
+  EXPECT_EQ(static_cast<int64_t>(degrees->size()), v);
+  int64_t sum = std::accumulate(degrees->begin(), degrees->end(), int64_t{0});
+  // Sum close to 2E (within 15% — rounding after rescale).
+  EXPECT_NEAR(static_cast<double>(sum), 2.0 * static_cast<double>(e),
+              0.15 * 2.0 * static_cast<double>(e));
+  // Max degree pinned exactly.
+  EXPECT_EQ(*std::max_element(degrees->begin(), degrees->end()), dmax);
+  for (int64_t d : *degrees) EXPECT_GE(d, 1);
+}
+
+TEST(PowerLawDegreeSequenceTest, RejectsBadParameters) {
+  Pcg32 rng(4);
+  EXPECT_FALSE(PowerLawDegreeSequence(10, 20, 1.0, 1, 5, &rng).ok());
+  EXPECT_FALSE(PowerLawDegreeSequence(10, 20, 2.0, 5, 1, &rng).ok());
+  EXPECT_FALSE(PowerLawDegreeSequence(1, 20, 2.0, 1, 5, &rng).ok());
+  EXPECT_FALSE(PowerLawDegreeSequence(10, 20, 2.0, 1, 5, nullptr).ok());
+}
+
+// Property sweep: every generator yields a graph whose handshake sum holds.
+class HandshakeTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HandshakeTest, DegreeSumIsTwiceEdges) {
+  Pcg32 rng(static_cast<uint64_t>(GetParam()));
+  auto g = ErdosRenyi(200, 400 + GetParam() * 13, &rng);
+  ASSERT_TRUE(g.ok());
+  auto degrees = g->DegreeSequence();
+  int64_t sum = std::accumulate(degrees.begin(), degrees.end(), int64_t{0});
+  EXPECT_EQ(sum, 2 * g->num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HandshakeTest, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace dmlscale::graph

@@ -1,0 +1,97 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/generators.h"
+
+namespace dmlscale::graph {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTrip) {
+  Pcg32 rng(1);
+  auto g = ErdosRenyi(50, 120, &rng);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("graph_roundtrip.txt");
+  ASSERT_TRUE(WriteEdgeList(*g, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  EXPECT_EQ(loaded->DegreeSequence(), g->DegreeSequence());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadMissingFileIsIOError) {
+  auto result = ReadEdgeList("/nonexistent/graph.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(GraphIoTest, ReadRejectsMissingHeader) {
+  std::string path = TempPath("graph_noheader.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadRejectsMalformedEdge) {
+  std::string path = TempPath("graph_badedge.txt");
+  {
+    std::ofstream out(path);
+    out << "# vertices 3\n0 x\n";
+  }
+  auto result = ReadEdgeList(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadRejectsOutOfRangeVertex) {
+  std::string path = TempPath("graph_oob.txt");
+  {
+    std::ofstream out(path);
+    out << "# vertices 3\n0 5\n";
+  }
+  EXPECT_FALSE(ReadEdgeList(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SkipsCommentsAndBlankLines) {
+  std::string path = TempPath("graph_comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# vertices 3\n# a comment\n\n0 1\n  \n1 2\n";
+  }
+  auto g = ReadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, WriteEachUndirectedEdgeOnce) {
+  auto g = Chain(3);
+  ASSERT_TRUE(g.ok());
+  std::string path = TempPath("graph_once.txt");
+  ASSERT_TRUE(WriteEdgeList(*g, path).ok());
+  std::ifstream in(path);
+  std::string line;
+  int edge_lines = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '#') ++edge_lines;
+  }
+  EXPECT_EQ(edge_lines, 2);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmlscale::graph

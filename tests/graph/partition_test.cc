@@ -1,0 +1,148 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+
+namespace dmlscale::graph {
+namespace {
+
+TEST(RandomPartitionTest, AssignsAllVerticesInRange) {
+  Pcg32 rng(1);
+  auto partition = RandomPartition(1000, 7, &rng);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->assignment.size(), 1000u);
+  EXPECT_TRUE(partition->Validate().ok());
+}
+
+TEST(RandomPartitionTest, RoughlyUniform) {
+  Pcg32 rng(2);
+  auto partition = RandomPartition(10000, 4, &rng);
+  ASSERT_TRUE(partition.ok());
+  std::vector<int> counts(4, 0);
+  for (int p : partition->assignment) ++counts[static_cast<size_t>(p)];
+  for (int c : counts) {
+    EXPECT_GT(c, 2200);
+    EXPECT_LT(c, 2800);
+  }
+}
+
+TEST(BlockPartitionTest, ContiguousChunks) {
+  auto partition = BlockPartition(10, 3);
+  ASSERT_TRUE(partition.ok());
+  // chunk = ceil(10/3) = 4: [0..3] -> 0, [4..7] -> 1, [8..9] -> 2.
+  EXPECT_EQ(partition->assignment[0], 0);
+  EXPECT_EQ(partition->assignment[3], 0);
+  EXPECT_EQ(partition->assignment[4], 1);
+  EXPECT_EQ(partition->assignment[8], 2);
+}
+
+TEST(GreedyDegreePartitionTest, BalancesStarBetterThanBlocks) {
+  auto g = Star(101);
+  ASSERT_TRUE(g.ok());
+  auto greedy = GreedyDegreePartition(*g, 4);
+  ASSERT_TRUE(greedy.ok());
+  auto greedy_stats = ComputePartitionStats(*g, *greedy);
+  ASSERT_TRUE(greedy_stats.ok());
+  auto block = BlockPartition(101, 4);
+  auto block_stats = ComputePartitionStats(*g, *block);
+  ASSERT_TRUE(block_stats.ok());
+  // The hub (degree 100) dominates either way, but greedy gives the hub's
+  // worker nothing else, so its max load is never above block's.
+  EXPECT_LE(greedy_stats->max_edges, block_stats->max_edges);
+}
+
+TEST(PartitionStatsTest, SinglePartHasNoCutOrReplication) {
+  Pcg32 rng(3);
+  auto g = ErdosRenyi(100, 300, &rng);
+  ASSERT_TRUE(g.ok());
+  auto partition = BlockPartition(100, 1);
+  auto stats = ComputePartitionStats(*g, *partition);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cut_edges, 0);
+  EXPECT_DOUBLE_EQ(stats->replication_factor, 0.0);
+  // One worker holds every edge endpoint: sum of degrees = 2E.
+  EXPECT_DOUBLE_EQ(stats->max_edges, 2.0 * 300.0);
+}
+
+TEST(PartitionStatsTest, EdgeAccountingMatchesSectionIVB) {
+  // Path 0-1-2-3 split as {0,1}, {2,3}: cut edge (1,2).
+  auto g = Chain(4);
+  ASSERT_TRUE(g.ok());
+  Partition partition{.assignment = {0, 0, 1, 1}, .num_parts = 2};
+  auto stats = ComputePartitionStats(*g, partition);
+  ASSERT_TRUE(stats.ok());
+  // Worker 0 degrees: 1 + 2 = 3; worker 1: 2 + 1 = 3.
+  EXPECT_DOUBLE_EQ(stats->max_edges, 3.0);
+  EXPECT_DOUBLE_EQ(stats->mean_edges, 3.0);
+  EXPECT_EQ(stats->cut_edges, 1);
+  // Vertices 1 and 2 each replicate to one remote worker: r = 2/4.
+  EXPECT_DOUBLE_EQ(stats->replication_factor, 0.5);
+}
+
+TEST(PartitionStatsTest, ReplicationBoundedByParts) {
+  Pcg32 rng(4);
+  auto g = ErdosRenyi(500, 3000, &rng);
+  ASSERT_TRUE(g.ok());
+  for (int parts : {2, 5, 10}) {
+    auto partition = RandomPartition(500, parts, &rng);
+    auto stats = ComputePartitionStats(*g, *partition);
+    ASSERT_TRUE(stats.ok());
+    EXPECT_LE(stats->replication_factor, static_cast<double>(parts - 1));
+    EXPECT_GE(stats->replication_factor, 0.0);
+  }
+}
+
+TEST(PartitionStatsTest, EdgesPerWorkerSumsToTwiceEdges) {
+  Pcg32 rng(5);
+  auto g = BarabasiAlbert(400, 4, &rng);
+  ASSERT_TRUE(g.ok());
+  auto partition = RandomPartition(400, 6, &rng);
+  auto stats = ComputePartitionStats(*g, *partition);
+  ASSERT_TRUE(stats.ok());
+  double sum = std::accumulate(stats->edges_per_worker.begin(),
+                               stats->edges_per_worker.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 2.0 * static_cast<double>(g->num_edges()));
+}
+
+TEST(PartitionStatsTest, RejectsSizeMismatch) {
+  auto g = Chain(4);
+  ASSERT_TRUE(g.ok());
+  Partition partition{.assignment = {0, 1}, .num_parts = 2};
+  EXPECT_FALSE(ComputePartitionStats(*g, partition).ok());
+}
+
+TEST(PartitionValidateTest, RejectsOutOfRangeAssignment) {
+  Partition partition{.assignment = {0, 2}, .num_parts = 2};
+  EXPECT_FALSE(partition.Validate().ok());
+  partition.assignment = {0, 1};
+  EXPECT_TRUE(partition.Validate().ok());
+}
+
+// Property: on a skewed graph, random partitioning's measured max edges is
+// close to the Monte-Carlo estimator's prediction from degrees alone.
+TEST(PartitionStatsTest, MeasuredMaxTracksDegreeMass) {
+  Pcg32 rng(6);
+  auto g = BarabasiAlbert(3000, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  const int parts = 8;
+  double measured_max = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto partition = RandomPartition(3000, parts, &rng);
+    auto stats = ComputePartitionStats(*g, *partition);
+    ASSERT_TRUE(stats.ok());
+    measured_max += stats->max_edges;
+  }
+  measured_max /= trials;
+  // Expected per-worker degree mass is 2E/parts; the max should exceed it
+  // but stay within a small factor for this mild skew.
+  double mean_mass = 2.0 * static_cast<double>(g->num_edges()) / parts;
+  EXPECT_GT(measured_max, mean_mass);
+  EXPECT_LT(measured_max, 2.5 * mean_mass);
+}
+
+}  // namespace
+}  // namespace dmlscale::graph

@@ -1,0 +1,81 @@
+#include "graph/streaming_partition.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dmlscale::graph {
+namespace {
+
+TEST(LdgStreamingPartitionTest, ProducesValidBalancedPartition) {
+  Pcg32 rng(1);
+  auto g = BarabasiAlbert(5000, 3, &rng).value();
+  auto partition = LdgStreamingPartition(g, 8);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_TRUE(partition->Validate().ok());
+  std::vector<int> counts(8, 0);
+  for (int p : partition->assignment) ++counts[static_cast<size_t>(p)];
+  // The capacity penalty enforces near-equal vertex counts.
+  for (int c : counts) {
+    EXPECT_GE(c, 5000 / 8 - 80);
+    EXPECT_LE(c, 5000 / 8 + 80);
+  }
+}
+
+TEST(LdgStreamingPartitionTest, FewerCutEdgesThanRandomOnClusteredGraph) {
+  // A grid has strong locality; LDG should exploit it, random cannot.
+  auto g = Grid2d(40, 40).value();
+  auto ldg = LdgStreamingPartition(g, 4).value();
+  auto ldg_stats = ComputePartitionStats(g, ldg).value();
+  Pcg32 rng(2);
+  auto random = RandomPartition(g.num_vertices(), 4, &rng).value();
+  auto random_stats = ComputePartitionStats(g, random).value();
+  EXPECT_LT(ldg_stats.cut_edges, random_stats.cut_edges);
+  EXPECT_LT(ldg_stats.replication_factor, random_stats.replication_factor);
+}
+
+TEST(LdgStreamingPartitionTest, SinglePartTrivial) {
+  auto g = Chain(10).value();
+  auto partition = LdgStreamingPartition(g, 1);
+  ASSERT_TRUE(partition.ok());
+  for (int p : partition->assignment) EXPECT_EQ(p, 0);
+}
+
+TEST(LdgStreamingPartitionTest, RejectsBadArgs) {
+  auto g = Chain(10).value();
+  EXPECT_FALSE(LdgStreamingPartition(g, 0).ok());
+}
+
+TEST(HybridHubPartitionTest, SpreadsHubs) {
+  // Star + ring: vertex 0 is a massive hub.
+  Pcg32 rng(3);
+  auto g = BarabasiAlbert(4000, 3, &rng).value();
+  auto hybrid = HybridHubPartition(g, 8, 99.0);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_TRUE(hybrid->Validate().ok());
+  auto hybrid_stats = ComputePartitionStats(g, *hybrid).value();
+  auto random = RandomPartition(g.num_vertices(), 8, &rng).value();
+  auto random_stats = ComputePartitionStats(g, random).value();
+  // Hub spreading should improve (or match) edge balance vs random.
+  EXPECT_LE(hybrid_stats.max_edges / hybrid_stats.mean_edges,
+            random_stats.max_edges / random_stats.mean_edges * 1.05);
+}
+
+TEST(HybridHubPartitionTest, RejectsBadPercentile) {
+  auto g = Chain(10).value();
+  EXPECT_FALSE(HybridHubPartition(g, 2, 0.0).ok());
+  EXPECT_FALSE(HybridHubPartition(g, 2, 100.0).ok());
+}
+
+TEST(HybridHubPartitionTest, AllVerticesAssigned) {
+  Pcg32 rng(4);
+  auto g = BarabasiAlbert(1000, 2, &rng).value();
+  auto partition = HybridHubPartition(g, 5, 95.0).value();
+  for (int p : partition.assignment) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5);
+  }
+}
+
+}  // namespace
+}  // namespace dmlscale::graph

@@ -1,0 +1,98 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace dmlscale::graph {
+namespace {
+
+TEST(BfsDistancesTest, ChainDistances) {
+  auto g = Chain(5).value();
+  auto dist = BfsDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(*dist, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(BfsDistancesTest, GridDistancesAreManhattan) {
+  auto g = Grid2d(4, 4).value();
+  auto dist = BfsDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  // Vertex (r, c) has distance r + c from corner 0.
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_EQ((*dist)[static_cast<size_t>(r * 4 + c)], r + c);
+    }
+  }
+}
+
+TEST(BfsDistancesTest, UnreachableIsMinusOne) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  // Vertices 2 and 3 isolated.
+  Graph g = std::move(builder).Build().value();
+  auto dist = BfsDistances(g, 0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ((*dist)[2], -1);
+  EXPECT_EQ((*dist)[3], -1);
+}
+
+TEST(BfsDistancesTest, RejectsBadSource) {
+  auto g = Chain(3).value();
+  EXPECT_FALSE(BfsDistances(g, -1).ok());
+  EXPECT_FALSE(BfsDistances(g, 3).ok());
+}
+
+TEST(ConnectedComponentsTest, CountsIslands) {
+  GraphBuilder builder(6);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  ASSERT_TRUE(builder.AddEdge(2, 3).ok());
+  Graph g = std::move(builder).Build().value();
+  auto labels = ConnectedComponents(g);
+  EXPECT_EQ(NumConnectedComponents(g), 4);  // {0,1}, {2,3}, {4}, {5}
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[5]);
+}
+
+TEST(ConnectedComponentsTest, GeneratedGraphsAreConnected) {
+  Pcg32 rng(1);
+  // BA attaches every new vertex to existing ones: always connected.
+  auto ba = BarabasiAlbert(2000, 3, &rng).value();
+  EXPECT_TRUE(IsConnected(ba));
+  auto grid = Grid2d(10, 10).value();
+  EXPECT_TRUE(IsConnected(grid));
+  auto tree = BinaryTree(31).value();
+  EXPECT_TRUE(IsConnected(tree));
+}
+
+TEST(PseudoDiameterTest, ExactOnChainAndStar) {
+  EXPECT_EQ(PseudoDiameter(Chain(10).value()).value(), 9);
+  EXPECT_EQ(PseudoDiameter(Star(10).value()).value(), 2);
+}
+
+TEST(PseudoDiameterTest, GridDiameter) {
+  // Double BFS is exact on grids too: (rows-1) + (cols-1).
+  EXPECT_EQ(PseudoDiameter(Grid2d(5, 7).value()).value(), 10);
+}
+
+TEST(PseudoDiameterTest, FailsOnDisconnected) {
+  GraphBuilder builder(4);
+  ASSERT_TRUE(builder.AddEdge(0, 1).ok());
+  Graph g = std::move(builder).Build().value();
+  EXPECT_FALSE(PseudoDiameter(g).ok());
+}
+
+TEST(PseudoDiameterTest, PowerLawGraphsHaveSmallDiameter) {
+  Pcg32 rng(2);
+  auto g = BarabasiAlbert(5000, 3, &rng).value();
+  auto diameter = PseudoDiameter(g);
+  ASSERT_TRUE(diameter.ok());
+  // Small-world: diameter grows ~log V.
+  EXPECT_LT(diameter.value(), 12);
+}
+
+}  // namespace
+}  // namespace dmlscale::graph

@@ -1,0 +1,140 @@
+#include "models/async_gd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmlscale::models {
+namespace {
+
+core::NodeSpec UnitNode() {
+  return core::NodeSpec{.name = "u", .peak_flops = 1e9, .efficiency = 1.0};
+}
+core::LinkSpec Gigabit() { return core::LinkSpec{.bandwidth_bps = 1e9}; }
+
+GdWorkload SmallWorkload() {
+  return GdWorkload{.ops_per_example = 1e6,
+                    .batch_size = 100.0,
+                    .model_params = 1e6,
+                    .bits_per_param = 32.0};
+}
+
+TEST(AsyncGdModelTest, WorkerCycleTime) {
+  AsyncGdModel model(SmallWorkload(), UnitNode(), Gigabit());
+  // compute = 1e8/1e9 = 0.1 s; push+pull = 2 * 32e6/1e9 = 0.064 s.
+  EXPECT_NEAR(model.WorkerCycleSeconds(), 0.164, 1e-12);
+}
+
+TEST(AsyncGdModelTest, ThroughputLinearUntilServerSaturates) {
+  AsyncGdModel model(SmallWorkload(), UnitNode(), Gigabit());
+  // Server ceiling: 1e9 / (2 * 32e6) = 15.625 updates/s.
+  // Linear region: n / 0.164.
+  EXPECT_NEAR(model.ThroughputUpdatesPerSec(1), 1.0 / 0.164, 1e-9);
+  EXPECT_NEAR(model.ThroughputUpdatesPerSec(2), 2.0 / 0.164, 1e-9);
+  EXPECT_NEAR(model.ThroughputUpdatesPerSec(100), 15.625, 1e-9);
+  // Saturation point: ceil(15.625 * 0.164) = 3.
+  EXPECT_EQ(model.SaturationWorkers(), 3);
+}
+
+TEST(AsyncGdModelTest, SpeedupPlateausAtSaturation) {
+  AsyncGdModel model(SmallWorkload(), UnitNode(), Gigabit());
+  double s4 = model.ThroughputSpeedup(4);
+  double s100 = model.ThroughputSpeedup(100);
+  EXPECT_NEAR(s4, s100, 1e-9);
+  EXPECT_GT(model.ThroughputSpeedup(2), model.ThroughputSpeedup(1));
+}
+
+TEST(AsyncGdModelTest, FasterServerLinkRaisesCeiling) {
+  core::LinkSpec fat_server{.bandwidth_bps = 10e9};
+  AsyncGdModel slow(SmallWorkload(), UnitNode(), Gigabit());
+  AsyncGdModel fast(SmallWorkload(), UnitNode(), Gigabit(), fat_server);
+  EXPECT_GT(fast.ThroughputUpdatesPerSec(100),
+            slow.ThroughputUpdatesPerSec(100) * 5.0);
+  EXPECT_GT(fast.SaturationWorkers(), slow.SaturationWorkers());
+}
+
+TEST(AsyncGdModelTest, StalenessIsWorkersMinusOne) {
+  AsyncGdModel model(SmallWorkload(), UnitNode(), Gigabit());
+  EXPECT_DOUBLE_EQ(model.ExpectedStaleness(1), 0.0);
+  EXPECT_DOUBLE_EQ(model.ExpectedStaleness(2), 1.0);
+  // Saturation does not reduce staleness: all cycles stretch equally.
+  EXPECT_DOUBLE_EQ(model.ExpectedStaleness(10), 9.0);
+  EXPECT_DOUBLE_EQ(model.ExpectedStaleness(20), 19.0);
+}
+
+TEST(ConvergenceModelTest, SyncIterationsFallWithDiminishingReturns) {
+  ConvergenceModel convergence{.base_iterations = 1000.0,
+                               .batch_penalty_alpha = 0.5};
+  EXPECT_DOUBLE_EQ(convergence.SyncIterations(1), 1000.0);
+  // iterations(n) = base * n^(alpha - 1): fewer iterations, but not 1/n.
+  EXPECT_NEAR(convergence.SyncIterations(4), 500.0, 1e-9);
+  EXPECT_NEAR(convergence.SyncIterations(16), 250.0, 1e-9);
+}
+
+TEST(ConvergenceModelTest, ZeroAlphaMeansPerfectStatisticalEfficiency) {
+  ConvergenceModel convergence{.base_iterations = 512.0,
+                               .batch_penalty_alpha = 0.0};
+  EXPECT_DOUBLE_EQ(convergence.SyncIterations(64), 8.0);
+}
+
+TEST(ConvergenceModelTest, AlphaOneMeansNoBatchBenefit) {
+  ConvergenceModel convergence{.base_iterations = 300.0,
+                               .batch_penalty_alpha = 1.0};
+  EXPECT_DOUBLE_EQ(convergence.SyncIterations(32), 300.0);
+}
+
+TEST(ConvergenceModelTest, AsyncPenaltyLinearInStaleness) {
+  ConvergenceModel convergence{.base_iterations = 1000.0,
+                               .staleness_penalty = 0.02};
+  EXPECT_DOUBLE_EQ(convergence.AsyncIterations(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(convergence.AsyncIterations(10.0), 1200.0);
+}
+
+TEST(TimeToAccuracyTest, SyncCompositionMatchesHandComputation) {
+  GdWorkload workload = SmallWorkload();
+  core::NodeSpec node = UnitNode();
+  core::LinkSpec link = Gigabit();
+  WeakScalingSgdModel sync_model(workload, node, link);
+  ConvergenceModel convergence{.base_iterations = 100.0,
+                               .batch_penalty_alpha = 0.5};
+  int n = 4;
+  double expected = convergence.SyncIterations(n) *
+                    sync_model.Seconds(n) * static_cast<double>(n);
+  EXPECT_NEAR(SyncTimeToAccuracy(convergence, sync_model, n), expected,
+              1e-12);
+}
+
+TEST(TimeToAccuracyTest, ParallelismHasAnOptimum) {
+  // Time-to-accuracy improves with n at first (statistical benefit of the
+  // larger batch wins) and worsens eventually (diminishing iteration
+  // returns meet growing communication) — the parallelization-convergence
+  // trade-off of Section VI. Linear communication makes the turn sharp.
+  GdWorkload workload{.ops_per_example = 1e7,
+                      .batch_size = 100.0,
+                      .model_params = 1e6,
+                      .bits_per_param = 32.0};
+  WeakScalingSgdModel sync_model(workload, UnitNode(), Gigabit(),
+                                 WeakScalingSgdModel::CommShape::kLinear);
+  ConvergenceModel convergence{.base_iterations = 1000.0,
+                               .batch_penalty_alpha = 0.7};
+  double t1 = SyncTimeToAccuracy(convergence, sync_model, 1);
+  double t8 = SyncTimeToAccuracy(convergence, sync_model, 8);
+  double t1024 = SyncTimeToAccuracy(convergence, sync_model, 1024);
+  EXPECT_LT(t8, t1);
+  EXPECT_GT(t1024, t8);
+}
+
+TEST(TimeToAccuracyTest, AsyncUsesThroughputAndStaleness) {
+  AsyncGdModel async_model(SmallWorkload(), UnitNode(), Gigabit());
+  ConvergenceModel convergence{.base_iterations = 100.0,
+                               .staleness_penalty = 0.05};
+  int n = 2;
+  double expected =
+      convergence.AsyncIterations(async_model.ExpectedStaleness(n)) /
+      async_model.ThroughputUpdatesPerSec(n);
+  EXPECT_NEAR(AsyncTimeToAccuracy(convergence, async_model, n), expected,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace dmlscale::models

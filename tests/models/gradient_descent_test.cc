@@ -1,0 +1,148 @@
+#include "models/gradient_descent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/speedup.h"
+
+namespace dmlscale::models {
+namespace {
+
+core::NodeSpec SparkNode() { return core::presets::XeonE3_1240Double(); }
+core::LinkSpec Gigabit() { return core::LinkSpec{.bandwidth_bps = 1e9}; }
+
+TEST(GdWorkloadTest, Validation) {
+  GdWorkload workload = SparkMnistWorkload();
+  EXPECT_TRUE(workload.Validate().ok());
+  workload.bits_per_param = 16.0;
+  EXPECT_FALSE(workload.Validate().ok());
+  workload = SparkMnistWorkload();
+  workload.batch_size = 0.0;
+  EXPECT_FALSE(workload.Validate().ok());
+}
+
+TEST(GdWorkloadTest, MessageBits) {
+  GdWorkload workload = SparkMnistWorkload();
+  EXPECT_DOUBLE_EQ(workload.MessageBits(), 64.0 * 12e6);
+}
+
+TEST(GenericGdModelTest, FormulaSectionIVA) {
+  GdWorkload workload{.ops_per_example = 1e6,
+                      .batch_size = 1000.0,
+                      .model_params = 1e6,
+                      .bits_per_param = 32.0};
+  core::NodeSpec node{.name = "n", .peak_flops = 1e9, .efficiency = 1.0};
+  GenericGdModel model(workload, node, Gigabit());
+  // tcp(4) = 1e9 / (1e9 * 4) = 0.25; tcm(4) = 2 * (32e6/1e9) * 2 = 0.128.
+  EXPECT_DOUBLE_EQ(model.ComputeSeconds(4), 0.25);
+  EXPECT_DOUBLE_EQ(model.CommSeconds(4), 2.0 * 0.032 * 2.0);
+  EXPECT_DOUBLE_EQ(model.Seconds(4),
+                   model.ComputeSeconds(4) + model.CommSeconds(4));
+  EXPECT_DOUBLE_EQ(model.CommSeconds(1), 0.0);
+}
+
+// ---- Fig. 2: the Spark fully connected ANN model ----
+
+TEST(SparkGdModelTest, SingleNodeTimeMatchesPaper) {
+  SparkGdModel model(SparkMnistWorkload(), SparkNode(), Gigabit());
+  // t(1) = 6 * 12e6 * 60000 / (0.8 * 105.6e9) = ~51.1 s, pure compute.
+  EXPECT_NEAR(model.Seconds(1), 4.32e12 / 84.48e9, 1e-6);
+  EXPECT_DOUBLE_EQ(model.CommSeconds(1), 0.0);
+}
+
+TEST(SparkGdModelTest, CommunicationTermsMatchPaper) {
+  SparkGdModel model(SparkMnistWorkload(), SparkNode(), Gigabit());
+  // tcm(n) = (64W/B) log2(n) + 2 (64W/B) ceil(sqrt(n)); 64W/B = 0.768 s.
+  double unit = 64.0 * 12e6 / 1e9;
+  EXPECT_NEAR(model.CommSeconds(4), unit * 2.0 + 2.0 * unit * 2.0, 1e-9);
+  EXPECT_NEAR(model.CommSeconds(9), unit * std::log2(9.0) + 2.0 * unit * 3.0,
+              1e-9);
+}
+
+TEST(SparkGdModelTest, LocalPeakAtNineWorkers) {
+  // The paper: "The model suggests that the optimal number of workers is
+  // nine" — a local speedup peak caused by the ceil(sqrt(n)) staircase.
+  SparkGdModel model(SparkMnistWorkload(), SparkNode(), Gigabit());
+  auto curve = core::SpeedupAnalyzer::Compute(model, 10);
+  ASSERT_TRUE(curve.ok());
+  double s8 = curve->At(8).value();
+  double s9 = curve->At(9).value();
+  double s10 = curve->At(10).value();
+  EXPECT_GT(s9, s8);
+  EXPECT_GT(s9, s10);
+  EXPECT_GT(s9, 3.5);
+  EXPECT_LT(s9, 5.0);
+}
+
+TEST(SparkGdModelTest, ScalableButSublinear) {
+  SparkGdModel model(SparkMnistWorkload(), SparkNode(), Gigabit());
+  auto curve = core::SpeedupAnalyzer::Compute(model, 16);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_TRUE(curve->IsScalable());
+  for (size_t i = 0; i < curve->nodes.size(); ++i) {
+    EXPECT_LE(curve->speedup[i], static_cast<double>(curve->nodes[i]));
+  }
+}
+
+// ---- Fig. 3: weak-scaling synchronous SGD ----
+
+TEST(WeakScalingSgdModelTest, PerInstanceTimeAtFifty) {
+  WeakScalingSgdModel model(TensorFlowInceptionWorkload(),
+                            core::presets::NvidiaK40(), Gigabit());
+  // t(50) = (1.92e12/2.14e12 + 1.6 * log2(50)) / 50.
+  double compute = 3.0 * 5e9 * 128.0 / 2.14e12;
+  double comm = 2.0 * (32.0 * 25e6 / 1e9) * std::log2(50.0);
+  EXPECT_NEAR(model.Seconds(50), (compute + comm) / 50.0, 1e-9);
+}
+
+TEST(WeakScalingSgdModelTest, InfiniteWeakScalingWithLogComm) {
+  // Section V-A: with logarithmic aggregation, once communication is paid
+  // at all (n >= 2), adding workers always increases single-instance
+  // speedup — infinite weak scaling.
+  WeakScalingSgdModel model(TensorFlowInceptionWorkload(),
+                            core::presets::NvidiaK40(), Gigabit());
+  double prev = model.Seconds(2);
+  for (int n = 4; n <= 4096; n *= 2) {
+    double t = model.Seconds(n);
+    EXPECT_LT(t, prev) << "n=" << n;
+    prev = t;
+  }
+}
+
+TEST(WeakScalingSgdModelTest, LinearCommScalingSaturates) {
+  // Section V-A: with linear communication the speedup stops growing.
+  WeakScalingSgdModel model(TensorFlowInceptionWorkload(),
+                            core::presets::NvidiaK40(), Gigabit(),
+                            WeakScalingSgdModel::CommShape::kLinear);
+  // Per-instance time approaches 2 * (32W/B) = 1.6 s asymptotically.
+  EXPECT_NEAR(model.Seconds(100000), 1.6, 0.01);
+  double t1k = model.Seconds(1000);
+  double t10k = model.Seconds(10000);
+  EXPECT_LT((t1k - t10k) / t1k, 0.05);  // nearly flat
+}
+
+TEST(WeakScalingSgdModelTest, SpeedupVersusFiftyMatchesHandComputation) {
+  WeakScalingSgdModel model(TensorFlowInceptionWorkload(),
+                            core::presets::NvidiaK40(), Gigabit());
+  auto curve = core::SpeedupAnalyzer::ComputeAt(model, {50, 100}, 50);
+  ASSERT_TRUE(curve.ok());
+  EXPECT_NEAR(curve->At(100).value(), model.Seconds(50) / model.Seconds(100),
+              1e-12);
+  EXPECT_GT(curve->At(100).value(), 1.5);
+  EXPECT_LT(curve->At(100).value(), 2.0);
+}
+
+class SparkGdMonotoneCommTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SparkGdMonotoneCommTest, CommNeverDecreases) {
+  SparkGdModel model(SparkMnistWorkload(), SparkNode(), Gigabit());
+  int n = GetParam();
+  EXPECT_LE(model.CommSeconds(n), model.CommSeconds(n + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparkGdMonotoneCommTest,
+                         ::testing::Range(1, 40));
+
+}  // namespace
+}  // namespace dmlscale::models

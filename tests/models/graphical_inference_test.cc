@@ -1,0 +1,226 @@
+#include "models/graphical_inference.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/speedup.h"
+
+namespace dmlscale::models {
+namespace {
+
+TEST(BpOperationsPerEdgeTest, FormulaSectionVB) {
+  // c(S) = S + 2 (S + S^2); the paper uses S = 2 -> 14 operations.
+  EXPECT_DOUBLE_EQ(BpOperationsPerEdge(2), 14.0);
+  EXPECT_DOUBLE_EQ(BpOperationsPerEdge(3), 3.0 + 2.0 * (3.0 + 9.0));
+  EXPECT_DOUBLE_EQ(BpOperationsPerEdge(1), 1.0 + 2.0 * 2.0);
+}
+
+TEST(GibbsOperationsPerEdgeTest, LinearInStates) {
+  EXPECT_DOUBLE_EQ(GibbsOperationsPerEdge(2), 6.0);
+  EXPECT_DOUBLE_EQ(GibbsOperationsPerEdge(5), 15.0);
+  // One Gibbs sweep is cheaper per edge than one BP superstep (no S^2
+  // marginalization), increasingly so at larger state counts.
+  for (int s = 2; s <= 16; s *= 2) {
+    EXPECT_LT(GibbsOperationsPerEdge(s), BpOperationsPerEdge(s)) << s;
+  }
+}
+
+TEST(GraphInferenceWorkloadTest, OpsPerEdgeSelectsAlgorithm) {
+  GraphInferenceWorkload bp_workload{.num_vertices = 100.0,
+                                     .num_edges = 200.0,
+                                     .states = 2};
+  EXPECT_DOUBLE_EQ(bp_workload.EffectiveOpsPerEdge(), 14.0);
+  GraphInferenceWorkload gibbs_workload = bp_workload;
+  gibbs_workload.ops_per_edge = GibbsOperationsPerEdge(2);
+  EXPECT_DOUBLE_EQ(gibbs_workload.EffectiveOpsPerEdge(), 6.0);
+  gibbs_workload.ops_per_edge = -1.0;
+  EXPECT_FALSE(gibbs_workload.Validate().ok());
+}
+
+TEST(GraphInferenceModelTest, GibbsAndBpShareSpeedupShape) {
+  // Same graph, different per-edge costs: in shared memory the algorithm
+  // constant cancels out of the speedup, like F does (Section V-B).
+  core::NodeSpec node{.name = "n", .peak_flops = 1e9, .efficiency = 1.0};
+  auto max_edges = [](int n) { return 1e6 / n + 100.0; };
+  GraphInferenceWorkload bp_workload{.num_vertices = 1000.0,
+                                     .num_edges = 5000.0,
+                                     .states = 2};
+  GraphInferenceWorkload gibbs_workload = bp_workload;
+  gibbs_workload.ops_per_edge = GibbsOperationsPerEdge(2);
+  GraphInferenceModel bp_model(bp_workload, max_edges, node,
+                               core::LinkSpec{}, true);
+  GraphInferenceModel gibbs_model(gibbs_workload, max_edges, node,
+                                  core::LinkSpec{}, true);
+  auto bp_curve = core::SpeedupAnalyzer::Compute(bp_model, 16).value();
+  auto gibbs_curve = core::SpeedupAnalyzer::Compute(gibbs_model, 16).value();
+  for (size_t i = 0; i < bp_curve.speedup.size(); ++i) {
+    EXPECT_NEAR(bp_curve.speedup[i], gibbs_curve.speedup[i], 1e-9);
+  }
+  // But absolute times differ by the cost ratio.
+  EXPECT_NEAR(bp_model.Seconds(4) / gibbs_model.Seconds(4), 14.0 / 6.0,
+              1e-9);
+}
+
+TEST(AnalyticDuplicateEdgesTest, FormulaSectionIVB) {
+  double v = 1000.0, e = 5000.0;
+  int n = 10;
+  double expected = 0.5 * (v / n - 1.0) * (v / n) * e / (v * (v - 1.0) / 2.0);
+  EXPECT_DOUBLE_EQ(AnalyticDuplicateEdges(v, e, n), expected);
+}
+
+TEST(AnalyticDuplicateEdgesTest, SingleWorkerCountsAllEdgesTwice) {
+  // With n=1 every edge is internal: Ernd = 2E, Edup should be ~E.
+  double v = 1000.0, e = 5000.0;
+  double dup = AnalyticDuplicateEdges(v, e, 1);
+  EXPECT_NEAR(dup, e, e * 0.01);
+}
+
+TEST(MonteCarloEdgeBalanceTest, UniformDegreesNearlyBalanced) {
+  std::vector<int64_t> degrees(10000, 10);  // E = 50000
+  Pcg32 rng(42);
+  auto balance = MonteCarloEdgeBalance(degrees, 10, 20, &rng);
+  ASSERT_TRUE(balance.ok());
+  // Mean load: 2E/n - Edup = 10000 - ~500 = ~9500.
+  EXPECT_NEAR(balance->mean_edges, 10000.0 - AnalyticDuplicateEdges(10000, 50000, 10),
+              1.0);
+  // Max within a few percent of mean for uniform degrees.
+  EXPECT_LT(balance->max_edges / balance->mean_edges, 1.10);
+  EXPECT_GE(balance->max_edges, balance->mean_edges);
+}
+
+TEST(MonteCarloEdgeBalanceTest, SkewedDegreesImbalance) {
+  // One hub with degree 100000 among small-degree vertices: the hub's
+  // worker dominates, so max/mean is far above 1.
+  std::vector<int64_t> degrees(10000, 10);
+  degrees[0] = 100000;
+  Pcg32 rng(43);
+  auto balance = MonteCarloEdgeBalance(degrees, 16, 10, &rng);
+  ASSERT_TRUE(balance.ok());
+  EXPECT_GT(balance->max_edges / balance->mean_edges, 5.0);
+}
+
+TEST(MonteCarloEdgeBalanceTest, Deterministic) {
+  std::vector<int64_t> degrees(1000, 5);
+  Pcg32 a(7), b(7);
+  auto r1 = MonteCarloEdgeBalance(degrees, 8, 5, &a);
+  auto r2 = MonteCarloEdgeBalance(degrees, 8, 5, &b);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_DOUBLE_EQ(r1->max_edges, r2->max_edges);
+}
+
+TEST(MonteCarloEdgeBalanceTest, RejectsBadInput) {
+  std::vector<int64_t> degrees(10, 1);
+  Pcg32 rng(1);
+  EXPECT_FALSE(MonteCarloEdgeBalance({}, 2, 1, &rng).ok());
+  EXPECT_FALSE(MonteCarloEdgeBalance(degrees, 0, 1, &rng).ok());
+  EXPECT_FALSE(MonteCarloEdgeBalance(degrees, 2, 0, &rng).ok());
+  EXPECT_FALSE(MonteCarloEdgeBalance(degrees, 2, 1, nullptr).ok());
+  std::vector<int64_t> negative{1, -2, 3};
+  EXPECT_FALSE(MonteCarloEdgeBalance(negative, 2, 1, &rng).ok());
+}
+
+TEST(BalancedEdgeShareTest, LowerBoundOnMonteCarlo) {
+  std::vector<int64_t> degrees(5000, 8);
+  double v = 5000.0, e = 20000.0;
+  Pcg32 rng(11);
+  for (int n : {2, 4, 8, 16}) {
+    auto mc = MonteCarloEdgeBalance(degrees, n, 10, &rng);
+    ASSERT_TRUE(mc.ok());
+    EXPECT_LE(BalancedEdgeShare(v, e, n), mc->max_edges * 1.0001) << n;
+  }
+}
+
+TEST(GraphInferenceWorkloadTest, Validation) {
+  GraphInferenceWorkload workload{.num_vertices = 100.0,
+                                  .num_edges = 200.0,
+                                  .states = 2,
+                                  .replication_factor = 0.5};
+  EXPECT_TRUE(workload.Validate().ok());
+  workload.states = 0;
+  EXPECT_FALSE(workload.Validate().ok());
+}
+
+TEST(GraphInferenceModelTest, SharedMemoryIgnoresComm) {
+  GraphInferenceWorkload workload{.num_vertices = 1000.0,
+                                  .num_edges = 5000.0,
+                                  .states = 2,
+                                  .replication_factor = 1.0};
+  core::NodeSpec node{.name = "n", .peak_flops = 1e9, .efficiency = 1.0};
+  GraphInferenceModel model(
+      workload, [](int n) { return 10000.0 / n; }, node, core::LinkSpec{},
+      /*shared_memory=*/true);
+  EXPECT_DOUBLE_EQ(model.CommSeconds(8), 0.0);
+  // tcp = maxE * c(2) / F = (10000/8) * 14 / 1e9.
+  EXPECT_DOUBLE_EQ(model.ComputeSeconds(8), 1250.0 * 14.0 / 1e9);
+}
+
+TEST(GraphInferenceModelTest, LinearCommFormula) {
+  GraphInferenceWorkload workload{.num_vertices = 1e6,
+                                  .num_edges = 5e6,
+                                  .states = 2,
+                                  .replication_factor = 0.8};
+  core::NodeSpec node{.name = "n", .peak_flops = 1e9, .efficiency = 1.0};
+  core::LinkSpec link{.bandwidth_bps = 1e9};
+  GraphInferenceModel model(
+      workload, [](int n) { return 1e7 / n; }, node, link,
+      /*shared_memory=*/false);
+  // tcm = 32/B * r * V * S = 32/1e9 * 0.8 * 1e6 * 2 = 0.0512 s.
+  EXPECT_NEAR(model.CommSeconds(4), 0.0512, 1e-12);
+  EXPECT_DOUBLE_EQ(model.CommSeconds(1), 0.0);
+}
+
+TEST(GraphInferenceModelTest, SharedMemorySpeedupIndependentOfF) {
+  // F cancels out of shared-memory speedups (Section V-B).
+  GraphInferenceWorkload workload{.num_vertices = 1000.0,
+                                  .num_edges = 5000.0,
+                                  .states = 2,
+                                  .replication_factor = 0.0};
+  auto max_edges = [](int n) { return 10000.0 / n + 50.0; };
+  core::NodeSpec fast{.name = "f", .peak_flops = 1e12, .efficiency = 1.0};
+  core::NodeSpec slow{.name = "s", .peak_flops = 1e9, .efficiency = 0.5};
+  GraphInferenceModel fast_model(workload, max_edges, fast, core::LinkSpec{},
+                                 true);
+  GraphInferenceModel slow_model(workload, max_edges, slow, core::LinkSpec{},
+                                 true);
+  auto fast_curve = core::SpeedupAnalyzer::Compute(fast_model, 16);
+  auto slow_curve = core::SpeedupAnalyzer::Compute(slow_model, 16);
+  ASSERT_TRUE(fast_curve.ok());
+  ASSERT_TRUE(slow_curve.ok());
+  for (size_t i = 0; i < fast_curve->speedup.size(); ++i) {
+    EXPECT_NEAR(fast_curve->speedup[i], slow_curve->speedup[i], 1e-9);
+  }
+}
+
+TEST(MemoizedMonteCarloMaxEdgesTest, CachesAndReproduces) {
+  std::vector<int64_t> degrees(2000, 6);
+  auto fn1 = MemoizedMonteCarloMaxEdges(degrees, 5, 99);
+  auto fn2 = MemoizedMonteCarloMaxEdges(degrees, 5, 99);
+  double a = fn1(8);
+  double b = fn1(8);  // cached
+  double c = fn2(8);  // fresh estimator, same seed
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(a, c);
+  EXPECT_GT(fn1(2), fn1(8));  // more workers -> smaller max share
+}
+
+// Property: the Monte-Carlo max share shrinks as workers are added.
+class EdgeBalanceMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EdgeBalanceMonotoneTest, MaxSharePerWorkerShrinks) {
+  int n = GetParam();
+  std::vector<int64_t> degrees;
+  Pcg32 gen(5);
+  for (int i = 0; i < 3000; ++i) {
+    degrees.push_back(1 + static_cast<int64_t>(gen.NextBounded(20)));
+  }
+  auto fn = MemoizedMonteCarloMaxEdges(degrees, 8, 123);
+  EXPECT_GT(fn(n), fn(2 * n) * 0.99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EdgeBalanceMonotoneTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+}  // namespace
+}  // namespace dmlscale::models

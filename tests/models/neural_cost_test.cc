@@ -1,0 +1,122 @@
+#include "models/neural_cost.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale::models {
+namespace {
+
+TEST(DenseLayerSpecTest, WeightsAndComputations) {
+  DenseLayerSpec layer{.inputs = 784, .outputs = 2500};
+  EXPECT_EQ(layer.Weights(), 784 * 2500);
+  EXPECT_EQ(layer.ForwardComputations(), 2 * 784 * 2500);
+}
+
+TEST(DenseLayerSpecTest, BiasAddsOutputs) {
+  DenseLayerSpec layer{.inputs = 10, .outputs = 5, .bias = true};
+  EXPECT_EQ(layer.Weights(), 55);
+}
+
+TEST(DenseLayerSpecTest, Validation) {
+  EXPECT_FALSE((DenseLayerSpec{.inputs = 0, .outputs = 5}).Validate().ok());
+  EXPECT_TRUE((DenseLayerSpec{.inputs = 1, .outputs = 1}).Validate().ok());
+}
+
+TEST(ConvLayerSpecTest, OutputSideFormula) {
+  // c = (l - k + b) / s + 1 with integer division (Section V-A).
+  ConvLayerSpec conv{.num_maps = 32, .kernel = 3, .input_side = 299,
+                     .depth = 3, .border = 0, .stride = 2};
+  EXPECT_EQ(conv.OutputSide(), (299 - 3) / 2 + 1);  // 149
+}
+
+TEST(ConvLayerSpecTest, IntegerDivisionTruncates) {
+  ConvLayerSpec conv{.num_maps = 1, .kernel = 3, .input_side = 6,
+                     .depth = 1, .border = 0, .stride = 2};
+  EXPECT_EQ(conv.OutputSide(), 2);  // (6-3)/2+1 with truncation
+}
+
+TEST(ConvLayerSpecTest, WeightsAndComputations) {
+  ConvLayerSpec conv{.num_maps = 64, .kernel = 3, .input_side = 28,
+                     .depth = 16, .border = 2, .stride = 1};
+  int64_t c = conv.OutputSide();
+  EXPECT_EQ(c, 28);  // same padding
+  EXPECT_EQ(conv.Weights(), 64 * 3 * 3 * 16);
+  EXPECT_EQ(conv.ForwardComputations(), 64 * 3 * 3 * 16 * c * c);
+}
+
+TEST(ConvLayerSpecTest, BiasAddsOutputArea) {
+  ConvLayerSpec conv{.num_maps = 8, .kernel = 3, .input_side = 10,
+                     .depth = 1, .border = 0, .stride = 1, .bias = true};
+  int64_t c = conv.OutputSide();
+  EXPECT_EQ(conv.Weights(), 8 * 3 * 3 * 1 + c * c);
+}
+
+TEST(ConvLayerSpecTest, RectangularKernel) {
+  // Inception's 1x7 factorized conv: weights n*1*7*d.
+  ConvLayerSpec conv{.num_maps = 128, .kernel = 1, .input_side = 17,
+                     .depth = 128, .border = 0, .stride = 1, .kernel_w = 7};
+  EXPECT_EQ(conv.OutputSide(), 17);
+  EXPECT_EQ(conv.Weights(), 128L * 7 * 128);
+  EXPECT_EQ(conv.ForwardComputations(), 128L * 7 * 128 * 17 * 17);
+}
+
+TEST(ConvLayerSpecTest, Validation) {
+  ConvLayerSpec bad{.num_maps = 1, .kernel = 9, .input_side = 4, .depth = 1};
+  EXPECT_FALSE(bad.Validate().ok());  // negative output side
+  ConvLayerSpec good{.num_maps = 1, .kernel = 3, .input_side = 4, .depth = 1};
+  EXPECT_TRUE(good.Validate().ok());
+}
+
+TEST(NetworkSpecTest, FullyConnectedBuilder) {
+  NetworkSpec spec = NetworkSpec::FullyConnected("t", {4, 3, 2});
+  EXPECT_EQ(spec.TotalWeights(), 4 * 3 + 3 * 2);
+  EXPECT_EQ(spec.ForwardComputations(), 2 * (4 * 3 + 3 * 2));
+  EXPECT_TRUE(spec.Validate().ok());
+}
+
+// ---- Table I ----
+
+TEST(TableITest, MnistFullyConnectedParameters) {
+  NetworkSpec spec = presets::MnistFullyConnected();
+  // 784-2500-2000-1500-1000-500-10 without biases: 11,965,000 weights;
+  // the paper rounds to 12e6.
+  EXPECT_EQ(spec.TotalWeights(), 11965000);
+  EXPECT_NEAR(static_cast<double>(spec.TotalWeights()), 12e6, 0.05e6);
+}
+
+TEST(TableITest, MnistFullyConnectedComputations) {
+  NetworkSpec spec = presets::MnistFullyConnected();
+  // Table I lists 24e6 computations for the forward pass (2W).
+  EXPECT_EQ(spec.ForwardComputations(), 2 * spec.TotalWeights());
+  EXPECT_NEAR(static_cast<double>(spec.ForwardComputations()), 24e6, 0.1e6);
+}
+
+TEST(TableITest, MnistTrainingIsSixW) {
+  NetworkSpec spec = presets::MnistFullyConnected();
+  EXPECT_EQ(spec.TrainingComputations(), 6 * spec.TotalWeights());
+}
+
+TEST(TableITest, InceptionV3Parameters) {
+  NetworkSpec spec = presets::InceptionV3();
+  ASSERT_TRUE(spec.Validate().ok());
+  // Table I lists 25e6 parameters; the canonical architecture has ~23.8e6.
+  // Accept within 10% of the paper's rounded figure.
+  double w = static_cast<double>(spec.TotalWeights());
+  EXPECT_GT(w, 25e6 * 0.90) << w;
+  EXPECT_LT(w, 25e6 * 1.10) << w;
+}
+
+TEST(TableITest, InceptionV3Computations) {
+  NetworkSpec spec = presets::InceptionV3();
+  // Table I lists 5e9 forward computations; accept within 20%.
+  double ops = static_cast<double>(spec.ForwardComputations());
+  EXPECT_GT(ops, 5e9 * 0.80) << ops;
+  EXPECT_LT(ops, 5e9 * 1.20) << ops;
+}
+
+TEST(TableITest, InceptionDeeperThanMnistNet) {
+  EXPECT_GT(presets::InceptionV3().layers().size(),
+            presets::MnistFullyConnected().layers().size());
+}
+
+}  // namespace
+}  // namespace dmlscale::models

@@ -1,0 +1,148 @@
+#include "nn/conv_layer.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale::nn {
+namespace {
+
+TEST(Conv2dLayerTest, OutputSideMatchesPaperFormula) {
+  Pcg32 rng(1);
+  Conv2dLayer a(3, 8, 3, 28, 1, 0, &rng);
+  EXPECT_EQ(a.output_side(), 26);
+  Conv2dLayer b(3, 8, 3, 28, 2, 0, &rng);
+  EXPECT_EQ(b.output_side(), 13);  // (28-3)/2+1
+  Conv2dLayer c(3, 8, 3, 28, 1, 1, &rng);
+  EXPECT_EQ(c.output_side(), 28);  // same padding
+}
+
+TEST(Conv2dLayerTest, IdentityKernelPassesThrough) {
+  Pcg32 rng(2);
+  Conv2dLayer layer(1, 1, 1, 4, 1, 0, &rng);
+  auto params = layer.Parameters();
+  params[0]->Fill(1.0);  // 1x1 kernel = identity
+  params[1]->Zero();
+  Tensor input({1, 1, 4, 4});
+  for (int64_t i = 0; i < input.size(); ++i) input[i] = static_cast<double>(i);
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  for (int64_t i = 0; i < input.size(); ++i) {
+    EXPECT_DOUBLE_EQ((*out)[i], input[i]);
+  }
+}
+
+TEST(Conv2dLayerTest, KnownConvolution) {
+  Pcg32 rng(3);
+  // 2x2 averaging-style kernel on a 3x3 input, stride 1, no pad -> 2x2.
+  Conv2dLayer layer(1, 1, 2, 3, 1, 0, &rng);
+  layer.Parameters()[0]->Fill(1.0);
+  layer.Parameters()[1]->Zero();
+  Tensor input({1, 1, 3, 3}, {1, 2, 3, 4, 5, 6, 7, 8, 9});
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ((*out)[0], 1 + 2 + 4 + 5);
+  EXPECT_DOUBLE_EQ((*out)[1], 2 + 3 + 5 + 6);
+  EXPECT_DOUBLE_EQ((*out)[2], 4 + 5 + 7 + 8);
+  EXPECT_DOUBLE_EQ((*out)[3], 5 + 6 + 8 + 9);
+}
+
+TEST(Conv2dLayerTest, RejectsWrongInputShape) {
+  Pcg32 rng(4);
+  Conv2dLayer layer(3, 4, 3, 8, 1, 0, &rng);
+  EXPECT_FALSE(layer.Forward(Tensor({1, 2, 8, 8})).ok());
+  EXPECT_FALSE(layer.Forward(Tensor({1, 3, 7, 8})).ok());
+  EXPECT_FALSE(layer.Forward(Tensor({3, 8, 8})).ok());
+}
+
+TEST(Conv2dLayerTest, ParameterGradientCheck) {
+  Pcg32 rng(5);
+  Conv2dLayer layer(2, 3, 3, 6, 1, 1, &rng);
+  Tensor input({2, 2, 6, 6});
+  input.FillGaussian(1.0, &rng);
+
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  Tensor ones(out->shape());
+  ones.Fill(1.0);
+  layer.ZeroGradients();
+  ASSERT_TRUE(layer.Backward(ones).ok());
+
+  auto params = layer.Parameters();
+  auto grads = layer.Gradients();
+  const double eps = 1e-6;
+  for (size_t p = 0; p < params.size(); ++p) {
+    int64_t size = params[p]->size();
+    int64_t step = std::max<int64_t>(size / 6, 1);
+    for (int64_t i = 0; i < size; i += step) {
+      double original = (*params[p])[i];
+      double up = 0.0, down = 0.0;
+      (*params[p])[i] = original + eps;
+      {
+        auto o = layer.Forward(input);
+        ASSERT_TRUE(o.ok());
+        for (int64_t j = 0; j < o->size(); ++j) up += (*o)[j];
+      }
+      (*params[p])[i] = original - eps;
+      {
+        auto o = layer.Forward(input);
+        ASSERT_TRUE(o.ok());
+        for (int64_t j = 0; j < o->size(); ++j) down += (*o)[j];
+      }
+      (*params[p])[i] = original;
+      EXPECT_NEAR((*grads[p])[i], (up - down) / (2 * eps), 1e-3);
+    }
+  }
+}
+
+TEST(Conv2dLayerTest, InputGradientCheck) {
+  Pcg32 rng(6);
+  Conv2dLayer layer(1, 2, 3, 5, 2, 1, &rng);
+  Tensor input({1, 1, 5, 5});
+  input.FillGaussian(1.0, &rng);
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  Tensor ones(out->shape());
+  ones.Fill(1.0);
+  auto grad_input = layer.Backward(ones);
+  ASSERT_TRUE(grad_input.ok());
+  const double eps = 1e-6;
+  for (int64_t i = 0; i < input.size(); ++i) {
+    Tensor perturbed = input;
+    perturbed[i] += eps;
+    auto up = layer.Forward(perturbed);
+    perturbed[i] -= 2 * eps;
+    auto down = layer.Forward(perturbed);
+    ASSERT_TRUE(up.ok());
+    ASSERT_TRUE(down.ok());
+    double up_sum = 0.0, down_sum = 0.0;
+    for (int64_t j = 0; j < up->size(); ++j) {
+      up_sum += (*up)[j];
+      down_sum += (*down)[j];
+    }
+    EXPECT_NEAR((*grad_input)[i], (up_sum - down_sum) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Conv2dLayerTest, CostCountersMatchPaperFormulas) {
+  Pcg32 rng(7);
+  Conv2dLayer layer(16, 64, 3, 28, 1, 1, &rng);
+  int64_t c = layer.output_side();
+  EXPECT_EQ(c, 28);
+  EXPECT_EQ(layer.ForwardMultiplyAddsPerExample(), 64L * 3 * 3 * 16 * c * c);
+  EXPECT_EQ(layer.WeightCount(), 64L * 16 * 3 * 3 + 64);
+}
+
+TEST(Conv2dLayerTest, CloneIsIndependent) {
+  Pcg32 rng(8);
+  Conv2dLayer layer(1, 2, 3, 6, 1, 0, &rng);
+  auto clone = layer.Clone();
+  Tensor input({1, 1, 6, 6});
+  input.FillGaussian(1.0, &rng);
+  auto a = layer.Forward(input);
+  auto b = clone->Forward(input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]);
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

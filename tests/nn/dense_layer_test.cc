@@ -1,0 +1,160 @@
+#include "nn/dense_layer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dmlscale::nn {
+namespace {
+
+// Central-difference gradient check for a scalar loss L = sum(output).
+void CheckParameterGradients(Layer* layer, const Tensor& input,
+                             double tolerance) {
+  auto out = layer->Forward(input);
+  ASSERT_TRUE(out.ok());
+  Tensor ones(out->shape());
+  ones.Fill(1.0);
+  layer->ZeroGradients();
+  ASSERT_TRUE(layer->Backward(ones).ok());
+
+  auto params = layer->Parameters();
+  auto grads = layer->Gradients();
+  ASSERT_EQ(params.size(), grads.size());
+  const double eps = 1e-6;
+  for (size_t p = 0; p < params.size(); ++p) {
+    // Check a sample of entries to keep runtime low.
+    int64_t size = params[p]->size();
+    int64_t step = std::max<int64_t>(size / 7, 1);
+    for (int64_t i = 0; i < size; i += step) {
+      double original = (*params[p])[i];
+      (*params[p])[i] = original + eps;
+      double up = 0.0;
+      {
+        auto o = layer->Forward(input);
+        ASSERT_TRUE(o.ok());
+        for (int64_t j = 0; j < o->size(); ++j) up += (*o)[j];
+      }
+      (*params[p])[i] = original - eps;
+      double down = 0.0;
+      {
+        auto o = layer->Forward(input);
+        ASSERT_TRUE(o.ok());
+        for (int64_t j = 0; j < o->size(); ++j) down += (*o)[j];
+      }
+      (*params[p])[i] = original;
+      double numeric = (up - down) / (2.0 * eps);
+      EXPECT_NEAR((*grads[p])[i], numeric, tolerance)
+          << "param " << p << " index " << i;
+    }
+  }
+}
+
+TEST(DenseLayerTest, ForwardComputesAffineMap) {
+  Pcg32 rng(1);
+  DenseLayer layer(2, 2, &rng);
+  // Overwrite weights deterministically: W = [[1,2],[3,4]], b = [10, 20].
+  auto params = layer.Parameters();
+  *params[0] = Tensor({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  *params[1] = Tensor({2}, {10.0, 20.0});
+  Tensor input({1, 2}, {1.0, 1.0});
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->At2(0, 0), 1.0 + 3.0 + 10.0);
+  EXPECT_DOUBLE_EQ(out->At2(0, 1), 2.0 + 4.0 + 20.0);
+}
+
+TEST(DenseLayerTest, ForwardRejectsWrongShape) {
+  Pcg32 rng(2);
+  DenseLayer layer(3, 2, &rng);
+  EXPECT_FALSE(layer.Forward(Tensor({1, 4})).ok());
+  EXPECT_FALSE(layer.Forward(Tensor({3})).ok());
+}
+
+TEST(DenseLayerTest, BackwardBeforeForwardFails) {
+  Pcg32 rng(3);
+  DenseLayer layer(3, 2, &rng);
+  EXPECT_FALSE(layer.Backward(Tensor({1, 2})).ok());
+}
+
+TEST(DenseLayerTest, GradientCheck) {
+  Pcg32 rng(4);
+  DenseLayer layer(5, 4, &rng);
+  Tensor input({3, 5});
+  input.FillGaussian(1.0, &rng);
+  CheckParameterGradients(&layer, input, 1e-4);
+}
+
+TEST(DenseLayerTest, InputGradientCheck) {
+  Pcg32 rng(5);
+  DenseLayer layer(4, 3, &rng);
+  Tensor input({2, 4});
+  input.FillGaussian(1.0, &rng);
+  auto out = layer.Forward(input);
+  ASSERT_TRUE(out.ok());
+  Tensor ones(out->shape());
+  ones.Fill(1.0);
+  auto grad_input = layer.Backward(ones);
+  ASSERT_TRUE(grad_input.ok());
+
+  const double eps = 1e-6;
+  for (int64_t i = 0; i < input.size(); ++i) {
+    Tensor perturbed = input;
+    perturbed[i] += eps;
+    auto up = layer.Forward(perturbed);
+    perturbed[i] -= 2 * eps;
+    auto down = layer.Forward(perturbed);
+    ASSERT_TRUE(up.ok());
+    ASSERT_TRUE(down.ok());
+    double up_sum = 0.0, down_sum = 0.0;
+    for (int64_t j = 0; j < up->size(); ++j) {
+      up_sum += (*up)[j];
+      down_sum += (*down)[j];
+    }
+    EXPECT_NEAR((*grad_input)[i], (up_sum - down_sum) / (2 * eps), 1e-4);
+  }
+}
+
+TEST(DenseLayerTest, GradientsAccumulateAcrossBackwardCalls) {
+  Pcg32 rng(6);
+  DenseLayer layer(2, 2, &rng);
+  Tensor input({1, 2}, {1.0, 2.0});
+  Tensor ones({1, 2}, {1.0, 1.0});
+  ASSERT_TRUE(layer.Forward(input).ok());
+  ASSERT_TRUE(layer.Backward(ones).ok());
+  Tensor first = *layer.Gradients()[0];
+  ASSERT_TRUE(layer.Forward(input).ok());
+  ASSERT_TRUE(layer.Backward(ones).ok());
+  Tensor second = *layer.Gradients()[0];
+  for (int64_t i = 0; i < first.size(); ++i) {
+    EXPECT_DOUBLE_EQ(second[i], 2.0 * first[i]);
+  }
+  layer.ZeroGradients();
+  EXPECT_DOUBLE_EQ(layer.Gradients()[0]->SquaredNorm(), 0.0);
+}
+
+TEST(DenseLayerTest, CountsMatchSpec) {
+  Pcg32 rng(7);
+  DenseLayer layer(784, 2500, &rng);
+  EXPECT_EQ(layer.ForwardMultiplyAddsPerExample(), 784 * 2500);
+  EXPECT_EQ(layer.WeightCount(), 784 * 2500 + 2500);
+}
+
+TEST(DenseLayerTest, CloneIsIndependent) {
+  Pcg32 rng(8);
+  DenseLayer layer(3, 3, &rng);
+  auto clone = layer.Clone();
+  Tensor input({1, 3}, {1.0, 2.0, 3.0});
+  auto a = layer.Forward(input);
+  auto b = clone->Forward(input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]);
+  // Mutating the original does not affect the clone.
+  (*layer.Parameters()[0])[0] += 1.0;
+  auto c = clone->Forward(input);
+  ASSERT_TRUE(c.ok());
+  for (int64_t i = 0; i < b->size(); ++i) EXPECT_DOUBLE_EQ((*b)[i], (*c)[i]);
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

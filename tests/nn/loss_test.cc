@@ -1,0 +1,120 @@
+#include "nn/loss.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace dmlscale::nn {
+namespace {
+
+TEST(MseTest, KnownValue) {
+  MeanSquaredError loss;
+  Tensor pred({2, 1}, {1.0, 3.0});
+  Tensor target({2, 1}, {0.0, 0.0});
+  auto result = loss.Compute(pred, target);
+  ASSERT_TRUE(result.ok());
+  // (1 + 9) / (2 * 2) = 2.5
+  EXPECT_DOUBLE_EQ(result->loss, 2.5);
+  EXPECT_DOUBLE_EQ(result->grad[0], 0.5);
+  EXPECT_DOUBLE_EQ(result->grad[1], 1.5);
+}
+
+TEST(MseTest, ZeroAtPerfectPrediction) {
+  MeanSquaredError loss;
+  Tensor pred({2, 2}, {1.0, 2.0, 3.0, 4.0});
+  auto result = loss.Compute(pred, pred);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->loss, 0.0);
+  EXPECT_DOUBLE_EQ(result->grad.SquaredNorm(), 0.0);
+}
+
+TEST(MseTest, RejectsShapeMismatch) {
+  MeanSquaredError loss;
+  EXPECT_FALSE(loss.Compute(Tensor({2, 1}), Tensor({1, 2})).ok());
+}
+
+TEST(MseTest, GradientCheck) {
+  MeanSquaredError loss;
+  Pcg32 rng(1);
+  Tensor pred({3, 4});
+  pred.FillGaussian(1.0, &rng);
+  Tensor target({3, 4});
+  target.FillGaussian(1.0, &rng);
+  auto result = loss.Compute(pred, target);
+  ASSERT_TRUE(result.ok());
+  const double eps = 1e-6;
+  for (int64_t i = 0; i < pred.size(); ++i) {
+    Tensor up = pred, down = pred;
+    up[i] += eps;
+    down[i] -= eps;
+    double numeric = (loss.Compute(up, target)->loss -
+                      loss.Compute(down, target)->loss) /
+                     (2 * eps);
+    EXPECT_NEAR(result->grad[i], numeric, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, UniformLogitsGiveLogC) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits({1, 4});
+  Tensor target({1, 4}, {0.0, 1.0, 0.0, 0.0});
+  auto result = loss.Compute(logits, target);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->loss, std::log(4.0), 1e-12);
+}
+
+TEST(CrossEntropyTest, ConfidentCorrectPredictionLowLoss) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits({1, 3}, {10.0, -10.0, -10.0});
+  Tensor target({1, 3}, {1.0, 0.0, 0.0});
+  auto result = loss.Compute(logits, target);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->loss, 1e-6);
+}
+
+TEST(CrossEntropyTest, GradientIsSoftmaxMinusTarget) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits({1, 2}, {0.0, 0.0});
+  Tensor target({1, 2}, {1.0, 0.0});
+  auto result = loss.Compute(logits, target);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->grad[0], (0.5 - 1.0) / 1.0, 1e-12);
+  EXPECT_NEAR(result->grad[1], (0.5 - 0.0) / 1.0, 1e-12);
+}
+
+TEST(CrossEntropyTest, GradientCheck) {
+  SoftmaxCrossEntropyLoss loss;
+  Pcg32 rng(2);
+  Tensor logits({2, 5});
+  logits.FillGaussian(1.0, &rng);
+  Tensor target({2, 5});
+  target.At2(0, 2) = 1.0;
+  target.At2(1, 0) = 1.0;
+  auto result = loss.Compute(logits, target);
+  ASSERT_TRUE(result.ok());
+  const double eps = 1e-6;
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    Tensor up = logits, down = logits;
+    up[i] += eps;
+    down[i] -= eps;
+    double numeric = (loss.Compute(up, target)->loss -
+                      loss.Compute(down, target)->loss) /
+                     (2 * eps);
+    EXPECT_NEAR(result->grad[i], numeric, 1e-6);
+  }
+}
+
+TEST(CrossEntropyTest, StableWithHugeLogits) {
+  SoftmaxCrossEntropyLoss loss;
+  Tensor logits({1, 2}, {1e4, -1e4});
+  Tensor target({1, 2}, {1.0, 0.0});
+  auto result = loss.Compute(logits, target);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::isfinite(result->loss));
+  EXPECT_NEAR(result->loss, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

@@ -1,0 +1,94 @@
+#include "nn/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/data.h"
+
+namespace dmlscale::nn {
+namespace {
+
+TEST(MomentumOptimizerTest, ZeroMomentumMatchesPlainSgd) {
+  Pcg32 rng(1);
+  Network a = Network::FullyConnected({4, 6, 2}, &rng);
+  Network b = a.Clone();
+  auto data = SyntheticClassification(32, 4, 2, 0.3, &rng).value();
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer sgd(0.2);
+  MomentumOptimizer momentum(0.2, 0.0);
+  for (int iter = 0; iter < 5; ++iter) {
+    a.ZeroGradients();
+    ASSERT_TRUE(a.ComputeGradients(data.features, data.targets, loss).ok());
+    ASSERT_TRUE(sgd.Step(&a).ok());
+    b.ZeroGradients();
+    ASSERT_TRUE(b.ComputeGradients(data.features, data.targets, loss).ok());
+    ASSERT_TRUE(momentum.Step(&b).ok());
+  }
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    for (int64_t j = 0; j < pa[i]->size(); ++j) {
+      EXPECT_DOUBLE_EQ((*pa[i])[j], (*pb[i])[j]);
+    }
+  }
+}
+
+TEST(MomentumOptimizerTest, VelocityAccumulates) {
+  // Constant gradient g: after k steps, velocity = g (1 + m + m^2 + ...),
+  // so displacement outpaces plain SGD.
+  Pcg32 rng(2);
+  Network plain = Network::FullyConnected({2, 1}, &rng);
+  Network heavy = plain.Clone();
+  Tensor input({1, 2}, {1.0, 1.0});
+  Tensor target({1, 1}, {100.0});  // far away: gradient direction stable
+  MeanSquaredError loss;
+  SgdOptimizer sgd(0.001);
+  MomentumOptimizer momentum(0.001, 0.9);
+  for (int iter = 0; iter < 20; ++iter) {
+    plain.ZeroGradients();
+    ASSERT_TRUE(plain.ComputeGradients(input, target, loss).ok());
+    ASSERT_TRUE(sgd.Step(&plain).ok());
+    heavy.ZeroGradients();
+    ASSERT_TRUE(heavy.ComputeGradients(input, target, loss).ok());
+    ASSERT_TRUE(momentum.Step(&heavy).ok());
+  }
+  double plain_out = plain.Forward(input).value()[0];
+  double heavy_out = heavy.Forward(input).value()[0];
+  // Momentum gets closer to the target in the same number of steps.
+  EXPECT_GT(heavy_out, plain_out);
+}
+
+TEST(MomentumOptimizerTest, TrainsToLowerLossThanSgdOnSameBudget) {
+  Pcg32 rng(3);
+  auto data = SyntheticRegression(128, 6, 1, 0.05, &rng).value();
+  Network sgd_net = Network::FullyConnected({6, 12, 1}, &rng);
+  Network mom_net = sgd_net.Clone();
+  MeanSquaredError loss;
+  SgdOptimizer sgd(0.05);
+  MomentumOptimizer momentum(0.05, 0.9);
+  double sgd_loss = 0.0, mom_loss = 0.0;
+  for (int iter = 0; iter < 60; ++iter) {
+    sgd_net.ZeroGradients();
+    sgd_loss =
+        sgd_net.ComputeGradients(data.features, data.targets, loss).value();
+    ASSERT_TRUE(sgd.Step(&sgd_net).ok());
+    mom_net.ZeroGradients();
+    mom_loss =
+        mom_net.ComputeGradients(data.features, data.targets, loss).value();
+    ASSERT_TRUE(momentum.Step(&mom_net).ok());
+  }
+  EXPECT_LT(mom_loss, sgd_loss);
+}
+
+TEST(MomentumOptimizerTest, RejectsBadArgsAndTopologyChanges) {
+  MomentumOptimizer optimizer(0.1, 0.5);
+  EXPECT_FALSE(optimizer.Step(nullptr).ok());
+  Pcg32 rng(4);
+  Network a = Network::FullyConnected({2, 2}, &rng);
+  EXPECT_FALSE(optimizer.Step(&a, 0.0).ok());
+  ASSERT_TRUE(optimizer.Step(&a).ok());  // binds velocity to this topology
+  Network b = Network::FullyConnected({3, 3, 2}, &rng);
+  EXPECT_FALSE(optimizer.Step(&b).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

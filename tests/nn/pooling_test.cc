@@ -1,0 +1,116 @@
+#include "nn/pooling.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/conv_layer.h"
+#include "nn/data.h"
+#include "nn/dense_layer.h"
+#include "nn/network.h"
+#include "nn/optimizer.h"
+
+namespace dmlscale::nn {
+namespace {
+
+TEST(MaxPool2dTest, ForwardPicksWindowMax) {
+  MaxPool2dLayer pool(2, 4, 1);
+  Tensor input({1, 1, 4, 4},
+               {1, 2, 3, 4,
+                5, 6, 7, 8,
+                9, 10, 11, 12,
+                13, 14, 15, 16});
+  auto out = pool.Forward(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dim(2), 2);
+  EXPECT_DOUBLE_EQ((*out)[0], 6.0);
+  EXPECT_DOUBLE_EQ((*out)[1], 8.0);
+  EXPECT_DOUBLE_EQ((*out)[2], 14.0);
+  EXPECT_DOUBLE_EQ((*out)[3], 16.0);
+}
+
+TEST(MaxPool2dTest, BackwardRoutesToArgmax) {
+  MaxPool2dLayer pool(2, 4, 1);
+  Tensor input({1, 1, 4, 4});
+  input[input.Index4(0, 0, 1, 1)] = 5.0;  // max of top-left window
+  ASSERT_TRUE(pool.Forward(input).ok());
+  Tensor grad_out({1, 1, 2, 2}, {7.0, 0.0, 0.0, 0.0});
+  auto grad_in = pool.Backward(grad_out);
+  ASSERT_TRUE(grad_in.ok());
+  EXPECT_DOUBLE_EQ((*grad_in)[grad_in->Index4(0, 0, 1, 1)], 7.0);
+  double total = 0.0;
+  for (int64_t i = 0; i < grad_in->size(); ++i) total += (*grad_in)[i];
+  EXPECT_DOUBLE_EQ(total, 7.0);
+}
+
+TEST(MaxPool2dTest, RejectsWrongShape) {
+  MaxPool2dLayer pool(2, 4, 3);
+  EXPECT_FALSE(pool.Forward(Tensor({1, 2, 4, 4})).ok());
+  EXPECT_FALSE(pool.Forward(Tensor({1, 3, 6, 6})).ok());
+  EXPECT_FALSE(pool.Backward(Tensor({1, 3, 2, 2})).ok());
+}
+
+TEST(FlattenTest, RoundTripShapes) {
+  FlattenLayer flatten;
+  Tensor input({2, 3, 4, 4});
+  auto out = flatten.Forward(input);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->dim(0), 2);
+  EXPECT_EQ(out->dim(1), 48);
+  auto back = flatten.Backward(*out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->shape(), input.shape());
+}
+
+TEST(FlattenTest, PreservesValues) {
+  FlattenLayer flatten;
+  Tensor input({1, 2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  auto out = flatten.Forward(input);
+  ASSERT_TRUE(out.ok());
+  for (int64_t i = 0; i < 8; ++i) EXPECT_DOUBLE_EQ((*out)[i], input[i]);
+}
+
+TEST(ConvNetTest, TrainsOnSyntheticImages) {
+  // conv -> relu -> pool -> flatten -> dense: an executable analogue of
+  // the paper's convolutional use case, end to end through backprop.
+  Pcg32 rng(1);
+  auto data = SyntheticImages(60, 8, 2, 0.2, &rng);
+  ASSERT_TRUE(data.ok());
+
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>(1, 4, 3, 8, 1, 1, &rng));
+  net.Add(std::make_unique<ReluLayer>());
+  net.Add(std::make_unique<MaxPool2dLayer>(2, 8, 4));
+  net.Add(std::make_unique<FlattenLayer>());
+  net.Add(std::make_unique<DenseLayer>(4 * 4 * 4, 2, &rng));
+
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.3);
+  double first = 0.0, last = 0.0;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    auto l = TrainBatch(&net, data->features, data->targets, loss, &optimizer);
+    ASSERT_TRUE(l.ok());
+    if (epoch == 0) first = l.value();
+    last = l.value();
+  }
+  EXPECT_LT(last, first * 0.7);
+}
+
+TEST(ConvNetTest, CloneOfConvNetIsIndependent) {
+  Pcg32 rng(2);
+  Network net;
+  net.Add(std::make_unique<Conv2dLayer>(1, 2, 3, 6, 1, 0, &rng));
+  net.Add(std::make_unique<MaxPool2dLayer>(2, 4, 2));
+  net.Add(std::make_unique<FlattenLayer>());
+  net.Add(std::make_unique<DenseLayer>(2 * 2 * 2, 3, &rng));
+  Network clone = net.Clone();
+  Tensor input({1, 1, 6, 6});
+  input.FillGaussian(1.0, &rng);
+  auto a = net.Forward(input);
+  auto b = clone.Forward(input);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int64_t i = 0; i < a->size(); ++i) EXPECT_DOUBLE_EQ((*a)[i], (*b)[i]);
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

@@ -1,0 +1,107 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+namespace dmlscale::nn {
+namespace {
+
+TEST(TrainerTest, MiniBatchTrainingReducesLoss) {
+  Pcg32 rng(1);
+  auto data = SyntheticClassification(200, 6, 3, 0.3, &rng).value();
+  Network net = Network::FullyConnected({6, 16, 3}, &rng);
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.3);
+  auto history = TrainMiniBatches(
+      &net, data, loss, &optimizer,
+      {.epochs = 15, .batch_size = 32, .shuffle = true}, &rng);
+  ASSERT_TRUE(history.ok());
+  ASSERT_EQ(history->epoch_loss.size(), 15u);
+  EXPECT_LT(history->final_loss(), history->epoch_loss.front() * 0.5);
+}
+
+TEST(TrainerTest, AccuracyImprovesOverChance) {
+  Pcg32 rng(2);
+  auto data = SyntheticClassification(300, 8, 4, 0.25, &rng).value();
+  Network net = Network::FullyConnected({8, 20, 4}, &rng);
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.4);
+  ASSERT_TRUE(TrainMiniBatches(&net, data, loss, &optimizer,
+                               {.epochs = 25, .batch_size = 25}, &rng)
+                  .ok());
+  auto accuracy = EvaluateAccuracy(&net, data);
+  ASSERT_TRUE(accuracy.ok());
+  EXPECT_GT(accuracy.value(), 0.75);  // chance = 0.25
+}
+
+TEST(TrainerTest, ShortFinalBatchHandled) {
+  Pcg32 rng(3);
+  auto data = SyntheticClassification(33, 4, 2, 0.3, &rng).value();
+  Network net = Network::FullyConnected({4, 2}, &rng);
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.1);
+  // 33 examples in batches of 16 -> 16, 16, 1.
+  auto history = TrainMiniBatches(&net, data, loss, &optimizer,
+                                  {.epochs = 2, .batch_size = 16}, &rng);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->epoch_loss.size(), 2u);
+}
+
+TEST(TrainerTest, NoShuffleIsDeterministicWithoutRng) {
+  Pcg32 rng(4);
+  auto data = SyntheticClassification(40, 4, 2, 0.3, &rng).value();
+  Network a = Network::FullyConnected({4, 4, 2}, &rng);
+  Network b = a.Clone();
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer opt_a(0.2), opt_b(0.2);
+  TrainerOptions options{.epochs = 3, .batch_size = 8, .shuffle = false};
+  auto ha = TrainMiniBatches(&a, data, loss, &opt_a, options, nullptr);
+  auto hb = TrainMiniBatches(&b, data, loss, &opt_b, options, nullptr);
+  ASSERT_TRUE(ha.ok());
+  ASSERT_TRUE(hb.ok());
+  for (size_t e = 0; e < ha->epoch_loss.size(); ++e) {
+    EXPECT_DOUBLE_EQ(ha->epoch_loss[e], hb->epoch_loss[e]);
+  }
+}
+
+TEST(TrainerTest, ShuffleChangesBatchOrderNotOutcomeQuality) {
+  Pcg32 rng(5);
+  auto data = SyntheticClassification(100, 5, 2, 0.3, &rng).value();
+  SoftmaxCrossEntropyLoss loss;
+  for (bool shuffle : {false, true}) {
+    Pcg32 net_rng(6);
+    Network net = Network::FullyConnected({5, 10, 2}, &net_rng);
+    SgdOptimizer optimizer(0.3);
+    Pcg32 shuffle_rng(7);
+    auto history = TrainMiniBatches(
+        &net, data, loss, &optimizer,
+        {.epochs = 10, .batch_size = 20, .shuffle = shuffle}, &shuffle_rng);
+    ASSERT_TRUE(history.ok());
+    EXPECT_LT(history->final_loss(), history->epoch_loss.front());
+  }
+}
+
+TEST(TrainerTest, RejectsBadArguments) {
+  Pcg32 rng(8);
+  auto data = SyntheticClassification(10, 3, 2, 0.3, &rng).value();
+  Network net = Network::FullyConnected({3, 2}, &rng);
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.1);
+  EXPECT_FALSE(TrainMiniBatches(nullptr, data, loss, &optimizer, {}, &rng).ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, nullptr, {}, &rng).ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.epochs = 0}, &rng)
+                   .ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.batch_size = 0}, &rng)
+                   .ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.shuffle = true}, nullptr)
+                   .ok());
+  Dataset empty{Tensor({0, 3}), Tensor({0, 2})};
+  EXPECT_FALSE(
+      TrainMiniBatches(&net, empty, loss, &optimizer, {}, &rng).ok());
+  EXPECT_FALSE(EvaluateAccuracy(nullptr, data).ok());
+}
+
+}  // namespace
+}  // namespace dmlscale::nn

@@ -1,0 +1,74 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dmlscale::sim {
+namespace {
+
+TEST(SimulatorTest, ExecutesInTimeOrder) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(3.0, [&] { order.push_back(3); });
+  simulator.Schedule(1.0, [&] { order.push_back(1); });
+  simulator.Schedule(2.0, [&] { order.push_back(2); });
+  double end = simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(end, 3.0);
+  EXPECT_EQ(simulator.events_executed(), 3);
+}
+
+TEST(SimulatorTest, FifoTieBreaking) {
+  Simulator simulator;
+  std::vector<int> order;
+  simulator.Schedule(1.0, [&] { order.push_back(0); });
+  simulator.Schedule(1.0, [&] { order.push_back(1); });
+  simulator.Schedule(1.0, [&] { order.push_back(2); });
+  simulator.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator simulator;
+  std::vector<double> times;
+  simulator.Schedule(1.0, [&] {
+    times.push_back(simulator.Now());
+    simulator.Schedule(0.5, [&] { times.push_back(simulator.Now()); });
+  });
+  simulator.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+}
+
+TEST(SimulatorTest, NowAdvancesMonotonically) {
+  Simulator simulator;
+  double last = -1.0;
+  bool monotone = true;
+  for (int i = 10; i > 0; --i) {
+    simulator.Schedule(static_cast<double>(i), [&, i] {
+      if (simulator.Now() < last) monotone = false;
+      last = simulator.Now();
+      (void)i;
+    });
+  }
+  simulator.Run();
+  EXPECT_TRUE(monotone);
+}
+
+TEST(SimulatorTest, EmptyRunReturnsZero) {
+  Simulator simulator;
+  EXPECT_DOUBLE_EQ(simulator.Run(), 0.0);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator simulator;
+  double seen = -1.0;
+  simulator.ScheduleAt(4.0, [&] { seen = simulator.Now(); });
+  simulator.Run();
+  EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+}  // namespace
+}  // namespace dmlscale::sim

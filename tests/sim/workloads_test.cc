@@ -1,0 +1,174 @@
+#include "sim/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "models/gradient_descent.h"
+
+namespace dmlscale::sim {
+namespace {
+
+core::NodeSpec UnitNode() {
+  return core::NodeSpec{.name = "u", .peak_flops = 1e9, .efficiency = 1.0};
+}
+core::LinkSpec Gigabit() { return core::LinkSpec{.bandwidth_bps = 1e9}; }
+
+GdSimConfig BasicConfig() {
+  return GdSimConfig{.total_ops = 10e9,
+                     .message_bits = 1e8,
+                     .node = UnitNode(),
+                     .link = Gigabit(),
+                     .overhead = OverheadModel::None(),
+                     .iterations = 1};
+}
+
+TEST(GdSimConfigTest, Validation) {
+  GdSimConfig config = BasicConfig();
+  EXPECT_TRUE(config.Validate().ok());
+  config.total_ops = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config = BasicConfig();
+  config.iterations = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(SparkGdSimTest, SingleNodeIsPureCompute) {
+  Pcg32 rng(1);
+  auto t = SimulateSparkGdIteration(BasicConfig(), 1, &rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t.value(), 10.0);
+}
+
+TEST(SparkGdSimTest, WithoutOverheadTracksClosedFormModel) {
+  // With zero overhead/jitter, the simulated iteration should stay within
+  // ~25% of the paper's closed-form Spark model across n (the simulator's
+  // two-wave is cheaper because uneven groups pipeline).
+  GdSimConfig config = BasicConfig();
+  models::GdWorkload workload{.ops_per_example = 1e6,
+                              .batch_size = 1e4,
+                              .model_params = 1e8 / 32.0,
+                              .bits_per_param = 32.0};
+  models::SparkGdModel model(workload, UnitNode(), Gigabit());
+  Pcg32 rng(2);
+  for (int n : {2, 4, 8, 12, 16}) {
+    auto sim_t = SimulateSparkGdIteration(config, n, &rng);
+    ASSERT_TRUE(sim_t.ok());
+    double model_t = model.Seconds(n);
+    EXPECT_NEAR(sim_t.value(), model_t, 0.25 * model_t) << "n=" << n;
+  }
+}
+
+TEST(SparkGdSimTest, SchedulingOverheadAddsUp) {
+  GdSimConfig config = BasicConfig();
+  config.overhead.sched_fixed_s = 1.0;
+  config.overhead.sched_per_worker_s = 0.5;
+  Pcg32 rng(3);
+  auto with = SimulateSparkGdIteration(config, 4, &rng);
+  config.overhead = OverheadModel::None();
+  auto without = SimulateSparkGdIteration(config, 4, &rng);
+  ASSERT_TRUE(with.ok());
+  ASSERT_TRUE(without.ok());
+  EXPECT_NEAR(with.value() - without.value(), 1.0 + 0.5 * 4, 1e-9);
+}
+
+TEST(SparkGdSimTest, StragglersOnlySlowThingsDown) {
+  GdSimConfig config = BasicConfig();
+  Pcg32 rng(4);
+  auto base = SimulateSparkGdIteration(config, 8, &rng);
+  config.overhead.straggler_sigma = 0.2;
+  config.iterations = 20;
+  Pcg32 rng2(5);
+  auto jittered = SimulateSparkGdIteration(config, 8, &rng2);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(jittered.ok());
+  // max over log-normal samples has mean > median: expect slower.
+  EXPECT_GT(jittered.value(), base.value());
+}
+
+TEST(AllReduceSgdSimTest, WeakScalingComputeConstant) {
+  // total_ops is per worker: with free comm, time is independent of n.
+  GdSimConfig config = BasicConfig();
+  config.message_bits = 0.0;
+  Pcg32 rng(6);
+  auto t1 = SimulateAllReduceSgdIteration(config, 1, &rng);
+  auto t8 = SimulateAllReduceSgdIteration(config, 8, &rng);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t8.ok());
+  EXPECT_NEAR(t1.value(), t8.value(), 1e-9);
+}
+
+TEST(AllReduceSgdSimTest, CommGrowsLogarithmically) {
+  GdSimConfig config = BasicConfig();
+  Pcg32 rng(7);
+  auto t2 = SimulateAllReduceSgdIteration(config, 2, &rng);
+  auto t16 = SimulateAllReduceSgdIteration(config, 16, &rng);
+  auto t64 = SimulateAllReduceSgdIteration(config, 64, &rng);
+  ASSERT_TRUE(t2.ok());
+  ASSERT_TRUE(t16.ok());
+  ASSERT_TRUE(t64.ok());
+  // Roughly log-shaped growth: the 16 -> 64 increment is comparable to
+  // (not many times larger than) the 2 -> 16 increment.
+  double d1 = t16.value() - t2.value();
+  double d2 = t64.value() - t16.value();
+  EXPECT_LT(d2, 2.0 * d1);
+  EXPECT_GT(t64.value(), t16.value());
+}
+
+TEST(BpSimTest, Validation) {
+  BpSimConfig config{.edges_per_worker = {100.0, 200.0},
+                     .ops_per_edge = 14.0,
+                     .node = UnitNode(),
+                     .overhead = OverheadModel::None(),
+                     .supersteps = 1};
+  EXPECT_TRUE(config.Validate().ok());
+  config.edges_per_worker.clear();
+  EXPECT_FALSE(config.Validate().ok());
+  config = BpSimConfig{.edges_per_worker = {100.0},
+                       .ops_per_edge = 0.0,
+                       .node = UnitNode(),
+                       .overhead = OverheadModel::None(),
+                       .supersteps = 1};
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(BpSimTest, SlowestWorkerDominates) {
+  BpSimConfig config{.edges_per_worker = {1e6, 2e6, 5e6},
+                     .ops_per_edge = 14.0,
+                     .node = UnitNode(),
+                     .overhead = OverheadModel::None(),
+                     .supersteps = 1};
+  Pcg32 rng(8);
+  auto t = SimulateBpSuperstep(config, &rng);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(t.value(), 5e6 * 14.0 / 1e9);
+}
+
+TEST(BpSimTest, PerWorkerOverheadGrowsWithN) {
+  // The Fig. 4 effect: engine overhead grows with worker count, so the
+  // superstep time stops improving even with balanced shares.
+  Pcg32 rng(9);
+  double small_n, large_n;
+  {
+    BpSimConfig config{.edges_per_worker = std::vector<double>(4, 1e6),
+                       .ops_per_edge = 14.0,
+                       .node = UnitNode(),
+                       .overhead = OverheadModel::GraphLabLike(),
+                       .supersteps = 10};
+    small_n = SimulateBpSuperstep(config, &rng).value();
+  }
+  {
+    BpSimConfig config{.edges_per_worker = std::vector<double>(64, 1e6 / 16),
+                       .ops_per_edge = 14.0,
+                       .node = UnitNode(),
+                       .overhead = OverheadModel::GraphLabLike(),
+                       .supersteps = 10};
+    large_n = SimulateBpSuperstep(config, &rng).value();
+  }
+  // 16x more workers with 16x less work each — but the overhead term
+  // (per-worker) makes the ideal-16x speedup unattainable.
+  EXPECT_GT(large_n, small_n / 16.0);
+}
+
+}  // namespace
+}  // namespace dmlscale::sim
