@@ -1,0 +1,44 @@
+# Locate GoogleTest without assuming network access.
+#
+# Order of preference:
+#   1. An installed copy (find_package) — e.g. Debian/Ubuntu libgtest-dev.
+#   2. The distro source package at /usr/src/googletest (libgtest-dev ships
+#      sources there even when the static libs are absent).
+#   3. FetchContent with a pinned tag — the only step that needs network.
+#
+# Whatever path wins, the GTest::gtest_main target exists afterwards.
+
+# Under a sanitizer build the prebuilt system libraries are uninstrumented;
+# linking them into instrumented test binaries makes TSan/ASan unreliable,
+# so force a from-source gtest (paths 2/3 inherit the sanitizer flags).
+if(NOT DML_SANITIZE)
+  find_package(GTest QUIET)
+endif()
+# Module-mode FindGTest only defines GTest::gtest_main since CMake 3.20;
+# without the target, fall through to the source-build paths.
+if(GTest_FOUND AND TARGET GTest::gtest_main)
+  message(STATUS "GoogleTest: using installed package")
+  return()
+endif()
+
+if(EXISTS /usr/src/googletest/CMakeLists.txt)
+  message(STATUS "GoogleTest: building distro sources at /usr/src/googletest")
+  set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest
+                   ${CMAKE_BINARY_DIR}/_deps/googletest-distro EXCLUDE_FROM_ALL)
+  if(NOT TARGET GTest::gtest_main)
+    add_library(GTest::gtest_main ALIAS gtest_main)
+  endif()
+  return()
+endif()
+
+message(STATUS "GoogleTest: not installed; fetching pinned release v1.14.0")
+include(FetchContent)
+FetchContent_Declare(googletest
+  GIT_REPOSITORY https://github.com/google/googletest.git
+  GIT_TAG v1.14.0)
+set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+FetchContent_MakeAvailable(googletest)

@@ -1,0 +1,59 @@
+# Target helpers shared by every CMakeLists.txt in the tree.
+
+# dml_add_module(<name> SOURCES <files...> [DEPS <targets...>])
+#
+# Defines the static library dml_<name> (alias dml::<name>) rooted at src/.
+# DEPS are linked PUBLIC so transitive module dependencies (bp -> graph ->
+# common, ...) propagate to tests and drivers automatically.
+function(dml_add_module name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target dml_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(dml::${name} ALIAS ${target})
+  target_include_directories(${target} PUBLIC ${PROJECT_SOURCE_DIR}/src)
+  target_compile_features(${target} PUBLIC cxx_std_20)
+  target_compile_options(${target} PRIVATE ${DML_WARNING_FLAGS})
+  target_link_libraries(${target} PUBLIC ${ARG_DEPS} Threads::Threads)
+endfunction()
+
+# dml_add_test(<source> MODULE <module> NAME <name>
+#              LIBS <targets...> [LABELS <labels...>])
+#
+# Registers one GoogleTest suite: builds <module>_<name> from the source
+# file, links gtest_main, and adds the ctest entry "<module>/<name>" labeled
+# with its module plus any extra LABELS. The caller derives module/name from
+# the path (tests/CMakeLists.txt is the single place that parses layout).
+function(dml_add_test src)
+  cmake_parse_arguments(ARG "" "MODULE;NAME" "LIBS;LABELS" ${ARGN})
+  set(module ${ARG_MODULE})
+  set(name ${ARG_NAME})
+  set(target ${module}_${name})
+  add_executable(${target} ${src})
+  target_compile_options(${target} PRIVATE ${DML_AUX_WARNING_FLAGS})
+  target_link_libraries(${target} PRIVATE ${ARG_LIBS} GTest::gtest_main)
+  add_test(NAME ${module}/${name} COMMAND ${target})
+  set_tests_properties(${module}/${name} PROPERTIES
+    LABELS "${module};${ARG_LABELS}"
+    TIMEOUT 300)
+endfunction()
+
+# dml_add_driver(<kind> <source> LIBS <targets...>)
+#
+# Registers a bench/ or examples/ executable plus a ctest smoke entry
+# "<kind>/build_<name>" (label: smoke) that checks the built binary exists.
+# The target is part of ALL, so compilation breakage fails the build itself;
+# the smoke entry keeps every driver visible in ctest without spawning a
+# nested `cmake --build` (concurrent sub-builds corrupt ninja state when
+# ctest runs under `ninja test`).
+function(dml_add_driver kind src)
+  cmake_parse_arguments(ARG "" "" "LIBS" ${ARGN})
+  get_filename_component(name ${src} NAME_WE)
+  add_executable(${name} ${src})
+  target_compile_options(${name} PRIVATE ${DML_AUX_WARNING_FLAGS})
+  target_link_libraries(${name} PRIVATE ${ARG_LIBS})
+  add_test(NAME ${kind}/build_${name}
+    COMMAND ${CMAKE_COMMAND} -E md5sum $<TARGET_FILE:${name}>)
+  set_tests_properties(${kind}/build_${name} PROPERTIES
+    LABELS "smoke;${kind}"
+    TIMEOUT 60)
+endfunction()
