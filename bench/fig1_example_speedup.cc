@@ -4,47 +4,51 @@
 // illustration — and then declines.
 
 #include <iostream>
-#include <memory>
 
-#include "bench_util.h"
+#include "api/api.h"
+#include "common/string_util.h"
 #include "common/table_printer.h"
-#include "core/communication_model.h"
-#include "core/computation_model.h"
-#include "core/superstep.h"
 
 namespace dmlscale {
 namespace {
 
 int Run() {
   // A generic workload: 196 GFLOP of perfectly parallel work per superstep
-  // on 1 GFLOP/s nodes, with linear communication of 1 Gbit over a
-  // 1 Gbit/s link. argmin t(n) = sqrt(196) = 14 nodes.
-  core::NodeSpec node{.name = "generic", .peak_flops = 1e9, .efficiency = 1.0};
-  core::LinkSpec link{.bandwidth_bps = 1e9};
-  core::Superstep step(
-      std::make_unique<core::PerfectlyParallelCompute>(196.0e9, node),
-      std::make_unique<core::LinearComm>(1e9, link), "fig1-superstep");
-
-  auto curve = core::SpeedupAnalyzer::Compute(step, 30);
-  if (!curve.ok()) {
-    std::cerr << curve.status() << "\n";
+  // on Fig. 1's 1 GFLOP/s nodes, with linear communication of 1 Gbit over
+  // GigE. argmin t(n) = sqrt(196) = 14 nodes.
+  auto scenario = api::Scenario::Builder()
+                      .Name("fig1-superstep")
+                      .Hardware(api::presets::Fig1Cluster(/*max_nodes=*/30))
+                      .Compute("perfectly-parallel", {{"total_flops", 196.0e9}})
+                      .Comm("linear", {{"bits", 1e9}})
+                      .Build();
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
     return 1;
   }
 
+  auto report = api::Analysis::Run(*scenario);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  const core::SpeedupCurve& curve = report->curve;
+
   std::cout << "== Fig. 1: example speedup (computation vs communication) ==\n";
   TablePrinter table({"n", "t_compute_s", "t_comm_s", "t_total_s", "speedup"});
-  for (int n : curve->nodes) {
-    table.AddRow({std::to_string(n), FormatDouble(step.ComputeSeconds(n), 4),
-                  FormatDouble(step.CommSeconds(n), 4),
-                  FormatDouble(step.Seconds(n), 4),
-                  FormatDouble(curve->At(n).value(), 4)});
+  for (int n : curve.nodes) {
+    table.AddRow({std::to_string(n),
+                  FormatDouble(scenario->ComputeSeconds(n), 4),
+                  FormatDouble(scenario->CommSeconds(n), 4),
+                  FormatDouble(scenario->Seconds(n), 4),
+                  FormatDouble(curve.At(n).value(), 4)});
   }
   table.Print(std::cout);
   std::cout << "\nOptimal number of nodes (argmax speedup): "
-            << curve->OptimalNodes() << " (paper's example peaks ~14)\n"
-            << "Peak speedup: " << FormatDouble(curve->PeakSpeedup(), 4)
+            << report->optimal_nodes << " (paper's example peaks ~14)\n"
+            << "Peak speedup: " << FormatDouble(report->peak_speedup, 4)
             << "\nScalable (exists k with s(k) > 1): "
-            << (curve->IsScalable() ? "yes" : "no") << "\n";
+            << (report->scalable ? "yes" : "no") << "\n";
   return 0;
 }
 

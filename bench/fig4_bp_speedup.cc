@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "api/api.h"
 #include "bench_util.h"
 #include "graph/generators.h"
 #include "models/graphical_inference.h"
@@ -59,20 +60,28 @@ int RunCase(const GraphCase& config) {
     return 1;
   }
 
-  core::NodeSpec node = core::presets::Dl980Core();
+  core::NodeSpec node = api::presets::Dl980Core();
   double ops = models::BpOperationsPerEdge(2);  // S = 2: c(S) = 14
 
   auto max_edges =
       models::MemoizedMonteCarloMaxEdges(*degrees, config.trials, 7);
-  models::GraphInferenceWorkload workload{
-      .num_vertices = static_cast<double>(config.vertices),
-      .num_edges = static_cast<double>(config.edges),
-      .states = 2};
-  models::GraphInferenceModel theory(workload, max_edges, node,
-                                     core::LinkSpec{}, /*shared_memory=*/true);
+  // Theory through the facade: tcp = max_i(E_i) * c(S) / F (the bottleneck
+  // escape hatch, Section IV-B), communication free in shared memory.
+  auto theory = api::Scenario::Builder()
+                    .Name("fig4-bp-" + config.name)
+                    .Hardware(node)
+                    .SharedMemory()
+                    .MaxNodes(80)
+                    .Compute([max_edges, ops](int n) { return max_edges(n) * ops; },
+                             "bp-bottleneck")
+                    .Build();
+  if (!theory.ok()) {
+    std::cerr << theory.status() << "\n";
+    return 1;
+  }
 
   std::vector<int> workers{1, 2, 4, 8, 16, 32, 64, 80};
-  auto theory_curve = core::SpeedupAnalyzer::ComputeAt(theory, workers, 1);
+  auto theory_curve = core::SpeedupAnalyzer::ComputeAt(*theory, workers, 1);
   if (!theory_curve.ok()) {
     std::cerr << theory_curve.status() << "\n";
     return 1;

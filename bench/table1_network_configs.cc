@@ -4,8 +4,10 @@
 
 #include <iostream>
 
+#include "api/api.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/units.h"
 #include "models/neural_cost.h"
 
 namespace dmlscale {
@@ -58,6 +60,32 @@ int Run() {
   layers.Print(std::cout);
   std::cout << "\nInception v3 encoded as " << inception.layers().size()
             << " layer specs (stem + A/B/C/D/E blocks + classifier)\n";
+
+  // What Table I's numbers buy: feed the derived 6W cost and 64-bit payload
+  // into the Fig. 2 Spark scenario through the facade and read off the
+  // cluster size the paper recommends.
+  double weights = static_cast<double>(mnist.TotalWeights());
+  auto scenario =
+      api::Scenario::Builder()
+          .Name("table1-mnist-spark")
+          .Hardware(api::presets::SparkCluster(/*max_nodes=*/16))
+          .Compute("perfectly-parallel",
+                   {{"total_flops",
+                     static_cast<double>(mnist.TrainingComputations()) * 60000.0}})
+          .Comm("spark-gd", {{"bits", kBitsPerFloat64 * weights}})
+          .Build();
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
+    return 1;
+  }
+  auto report = api::Analysis::Run(*scenario);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "\nDerived scenario (MNIST batch GD on the Spark cluster): "
+            << "first local speedup peak at " << report->first_local_peak
+            << " workers (paper: 9).\n";
   return 0;
 }
 

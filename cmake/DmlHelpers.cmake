@@ -37,7 +37,7 @@ function(dml_add_test src)
     TIMEOUT 300)
 endfunction()
 
-# dml_add_driver(<kind> <source> LIBS <targets...>)
+# dml_add_driver(<kind> <source> LIBS <targets...> [RUN_SMOKE])
 #
 # Registers a bench/ or examples/ executable plus a ctest smoke entry
 # "<kind>/build_<name>" (label: smoke) that checks the built binary exists.
@@ -45,8 +45,13 @@ endfunction()
 # the smoke entry keeps every driver visible in ctest without spawning a
 # nested `cmake --build` (concurrent sub-builds corrupt ninja state when
 # ctest runs under `ninja test`).
+#
+# RUN_SMOKE additionally registers "<kind>/run_<name>" (label: run-smoke),
+# which executes the driver and asserts a zero exit code plus non-empty
+# table output (DmlRunSmoke.cmake). Used for the drivers ported onto the
+# api facade; CI runs them as `ctest -L run-smoke`.
 function(dml_add_driver kind src)
-  cmake_parse_arguments(ARG "" "" "LIBS" ${ARGN})
+  cmake_parse_arguments(ARG "RUN_SMOKE" "" "LIBS" ${ARGN})
   get_filename_component(name ${src} NAME_WE)
   add_executable(${name} ${src})
   target_compile_options(${name} PRIVATE ${DML_AUX_WARNING_FLAGS})
@@ -56,4 +61,12 @@ function(dml_add_driver kind src)
   set_tests_properties(${kind}/build_${name} PROPERTIES
     LABELS "smoke;${kind}"
     TIMEOUT 60)
+  if(ARG_RUN_SMOKE)
+    add_test(NAME ${kind}/run_${name}
+      COMMAND ${CMAKE_COMMAND} -DDRIVER=$<TARGET_FILE:${name}>
+              -P ${PROJECT_SOURCE_DIR}/cmake/DmlRunSmoke.cmake)
+    set_tests_properties(${kind}/run_${name} PROPERTIES
+      LABELS "run-smoke;${kind}"
+      TIMEOUT 300)
+  endif()
 endfunction()

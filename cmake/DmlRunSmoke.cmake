@@ -1,0 +1,23 @@
+# Run-smoke harness for drivers ported onto the api facade:
+#   cmake -DDRIVER=<binary> -P DmlRunSmoke.cmake
+# Fails when the driver exits non-zero OR prints no table (every facade
+# driver renders at least one TablePrinter table, whose header rule is a
+# run of dashes). PASS_REGULAR_EXPRESSION alone would ignore the exit code.
+if(NOT DRIVER)
+  message(FATAL_ERROR "DmlRunSmoke.cmake requires -DDRIVER=<binary>")
+endif()
+
+execute_process(COMMAND ${DRIVER}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${DRIVER} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+if(NOT out MATCHES "----")
+  message(FATAL_ERROR
+    "${DRIVER} produced no table output\nstdout:\n${out}")
+endif()
+message(STATUS "run-smoke OK: ${DRIVER}")

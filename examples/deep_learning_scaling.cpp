@@ -1,16 +1,17 @@
 // Deep-learning scaling study (Section V-A end to end): derive a network's
-// cost from its layer specification, build the gradient-descent model, and
-// compare deployment options — including the weak-scaling regime used for
-// large convolutional networks.
+// cost from its layer specification, declare the gradient-descent scenario
+// through the facade, and compare deployment options — including the
+// weak-scaling regime used for large convolutional networks.
 //
 //   ./deep_learning_scaling [--batch=60000] [--max-nodes=32]
 
 #include <iostream>
 
-#include "common/string_util.h"
+#include "api/api.h"
 #include "common/arg_parser.h"
+#include "common/string_util.h"
 #include "common/table_printer.h"
-#include "core/speedup.h"
+#include "common/units.h"
 #include "models/gradient_descent.h"
 #include "models/neural_cost.h"
 
@@ -20,6 +21,10 @@ int main(int argc, char** argv) {
   auto args = ArgParser::Parse(argc, argv);
   if (!args.ok()) {
     std::cerr << args.status() << "\n";
+    return 1;
+  }
+  if (Status status = args->CheckKnown({"batch", "max-nodes"}); !status.ok()) {
+    std::cerr << status << "\n";
     return 1;
   }
   double batch = args->GetDouble("batch", 60000.0);
@@ -34,19 +39,33 @@ int main(int argc, char** argv) {
             << HumanCount(static_cast<double>(mnist.TrainingComputations()))
             << " per example (6W rule)\n\n";
 
-  models::GdWorkload workload{
-      .ops_per_example = static_cast<double>(mnist.TrainingComputations()),
-      .batch_size = batch,
-      .model_params = static_cast<double>(mnist.TotalWeights()),
-      .bits_per_param = 64.0};
-  core::NodeSpec node = core::presets::XeonE3_1240Double();
-  core::LinkSpec link{.bandwidth_bps = 1e9};
+  // Same hardware and workload, two communication protocols: a scenario
+  // differs only in the registry key it names.
+  double total_flops =
+      static_cast<double>(mnist.TrainingComputations()) * batch;
+  double message_bits =
+      kBitsPerFloat64 * static_cast<double>(mnist.TotalWeights());
+  auto builder = [&](const std::string& name, const std::string& comm,
+                     api::ModelParams comm_params) {
+    return api::Scenario::Builder()
+        .Name(name)
+        .Hardware(api::presets::XeonE3_1240Double())
+        .Link(api::presets::GigabitEthernet())
+        .MaxNodes(max_nodes)
+        .Compute("perfectly-parallel", {{"total_flops", total_flops}})
+        .Comm(comm, comm_params)
+        .Build();
+  };
+  auto spark = builder("spark-protocol", "spark-gd", {{"bits", message_bits}});
+  auto generic =
+      builder("generic-2-tree", "tree", {{"bits", message_bits}, {"rounds", 2}});
+  if (!spark.ok() || !generic.ok()) {
+    std::cerr << (spark.ok() ? generic.status() : spark.status()) << "\n";
+    return 1;
+  }
 
-  models::SparkGdModel spark(workload, node, link);
-  models::GenericGdModel generic(workload, node, link);
-
-  auto spark_curve = core::SpeedupAnalyzer::Compute(spark, max_nodes);
-  auto generic_curve = core::SpeedupAnalyzer::Compute(generic, max_nodes);
+  auto spark_curve = spark->Speedup();
+  auto generic_curve = generic->Speedup();
   if (!spark_curve.ok() || !generic_curve.ok()) {
     std::cerr << "speedup computation failed\n";
     return 1;
@@ -66,8 +85,8 @@ int main(int argc, char** argv) {
 
   // The convolutional / weak-scaling regime.
   models::GdWorkload inception = models::TensorFlowInceptionWorkload();
-  models::WeakScalingSgdModel weak(inception, core::presets::NvidiaK40(),
-                                   link);
+  models::WeakScalingSgdModel weak(inception, api::presets::NvidiaK40(),
+                                   api::presets::GigabitEthernet());
   std::cout << "Weak scaling (Inception v3, per-worker batch 128, K40s):\n";
   TablePrinter weak_table({"workers", "per-instance speedup vs 50"});
   double ref = weak.Seconds(50);

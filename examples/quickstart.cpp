@@ -1,19 +1,17 @@
-// Quickstart: model a distributed ML algorithm as computation +
-// communication (Section III), plot its speedup, and read off the optimal
-// number of machines.
+// Quickstart: declare a distributed ML scenario — hardware, computation,
+// communication (Section III) — through the dmlscale::api facade, and read
+// off the speedup curve and the optimal number of machines.
 //
 //   ./quickstart [--flops=...] [--bandwidth=...] [--work=...] [--bits=...]
+//                [--comm=tree] [--max-nodes=64] [--help]
+//
+// --comm accepts any registered communication model (see --help).
 
 #include <iostream>
-#include <memory>
 
-#include "common/string_util.h"
+#include "api/api.h"
 #include "common/arg_parser.h"
-#include "common/table_printer.h"
-#include "core/communication_model.h"
-#include "core/computation_model.h"
-#include "core/speedup.h"
-#include "core/superstep.h"
+#include "common/string_util.h"
 
 using namespace dmlscale;  // NOLINT: example brevity
 
@@ -23,46 +21,61 @@ int main(int argc, char** argv) {
     std::cerr << args.status() << "\n";
     return 1;
   }
+  if (Status status = args->CheckKnown(
+          {"flops", "bandwidth", "work", "bits", "comm", "max-nodes", "help"});
+      !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (args->GetBool("help", false)) {
+    std::cout << "Flags: --flops --bandwidth --work --bits --comm "
+                 "--max-nodes\nRegistered communication models:\n"
+              << api::CommModels().Help()
+              << "Registered computation models:\n"
+              << api::ComputeModels().Help();
+    return 0;
+  }
 
-  // 1. Describe the hardware: node throughput and interconnect.
-  core::NodeSpec node{.name = "worker",
-                      .peak_flops = args->GetDouble("flops", 100e9),
-                      .efficiency = 0.8};
-  core::LinkSpec link{.bandwidth_bps = args->GetDouble("bandwidth", 1e9)};
-
-  // 2. Describe one iteration of the algorithm: total work c(D) and the
-  //    message it must exchange per iteration.
-  double work_flops = args->GetDouble("work", 4e12);
-  double message_bits = args->GetDouble("bits", 64.0 * 12e6);
-
-  // 3. Compose a BSP superstep: t(n) = c(D)/(F n) + fcm(M, n).
-  core::Superstep iteration(
-      std::make_unique<core::PerfectlyParallelCompute>(work_flops, node),
-      std::make_unique<core::TreeComm>(message_bits, link, /*rounds=*/2.0),
-      "my-algorithm");
-
-  // 4. Compute the speedup curve and the optimal cluster size.
-  auto curve = core::SpeedupAnalyzer::Compute(iteration, 64);
-  if (!curve.ok()) {
-    std::cerr << curve.status() << "\n";
+  // One declaration: hardware, the iteration's work c(D), and the message
+  // it exchanges. The comm topology comes from the registry, so trying a
+  // different collective is a flag, not a rewrite.
+  std::string comm = args->GetString("comm", "tree");
+  api::ModelParams comm_params;
+  if (comm != "shared-memory") {  // the only built-in without a payload
+    comm_params.Set("bits", args->GetDouble("bits", 64.0 * 12e6));
+  }
+  if (comm == "tree") comm_params.Set("rounds", 2.0);  // scatter + gather
+  auto scenario =
+      api::Scenario::Builder()
+          .Name("my-algorithm")
+          .Hardware(core::NodeSpec{.name = "worker",
+                                   .peak_flops = args->GetDouble("flops", 100e9),
+                                   .efficiency = 0.8})
+          .Link(core::LinkSpec{
+              .bandwidth_bps = args->GetDouble(
+                  "bandwidth", api::presets::GigabitEthernet().bandwidth_bps)})
+          .MaxNodes(static_cast<int>(args->GetInt("max-nodes", 64)))
+          .Compute("perfectly-parallel",
+                   {{"total_flops", args->GetDouble("work", 4e12)}})
+          .Comm(comm, comm_params)
+          .Build();
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
     return 1;
   }
 
-  std::cout << "Speedup of one iteration (t(1) = "
-            << FormatDouble(iteration.Seconds(1), 4) << " s):\n\n";
-  TablePrinter table({"nodes", "time_s", "speedup", "efficiency"});
-  auto efficiency = curve->Efficiency();
-  for (size_t i = 0; i < curve->nodes.size(); ++i) {
-    int n = curve->nodes[i];
-    if (n > 8 && n % 4 != 0) continue;  // keep the table short
-    table.AddRow({std::to_string(n), FormatDouble(iteration.Seconds(n), 4),
-                  FormatDouble(curve->speedup[i], 4),
-                  FormatDouble(efficiency[i], 4)});
+  // One call: speedup curve, optimum, and the Q1 planner answer.
+  api::AnalysisOptions options;
+  options.target_speedup = 3.0;
+  auto report = api::Analysis::Run(*scenario, options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
   }
-  table.Print(std::cout);
+  api::PrintReport(*report, std::cout);
 
-  std::cout << "\nOptimal number of machines: " << curve->OptimalNodes()
-            << "  (peak speedup " << FormatDouble(curve->PeakSpeedup(), 4)
+  std::cout << "\nOptimal number of machines: " << report->optimal_nodes
+            << "  (peak speedup " << FormatDouble(report->peak_speedup, 4)
             << ")\n"
             << "Adding machines past this point makes the run SLOWER — the\n"
             << "communication term grows while computation shrinks.\n";

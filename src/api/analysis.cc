@@ -1,0 +1,167 @@
+#include "api/analysis.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/planner.h"
+#include "core/validation.h"
+#include "sim/workloads.h"
+
+namespace dmlscale::api {
+
+namespace {
+
+PlannerAnswer ToAnswer(const Result<int>& result) {
+  PlannerAnswer answer;
+  if (result.ok()) {
+    answer.achievable = true;
+    answer.nodes = result.value();
+  } else {
+    answer.achievable = false;
+    answer.note = result.status().message();
+  }
+  return answer;
+}
+
+Result<core::SpeedupCurve> SimulateCurve(const Scenario& scenario,
+                                         const AnalysisOptions& options,
+                                         const std::vector<int>& nodes) {
+  int supersteps = scenario.supersteps();
+  sim::SuperstepSimConfig config{
+      .compute_seconds =
+          [&scenario, supersteps](int n) {
+            return scenario.ComputeSeconds(n) / supersteps;
+          },
+      .comm_seconds =
+          [&scenario, supersteps](int n) {
+            return scenario.CommSeconds(n) / supersteps;
+          },
+      .message_bits = scenario.comm_params().GetOr("bits", 0.0),
+      .overhead = options.overhead,
+      .supersteps = options.sim_supersteps};
+
+  Pcg32 rng(options.sim_seed);
+  core::SpeedupCurve curve;
+  curve.reference_n = options.reference_n;
+  std::vector<double> seconds;
+  seconds.reserve(nodes.size());
+  double reference = 0.0;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    DMLSCALE_ASSIGN_OR_RETURN(
+        double t, sim::SimulateGenericSuperstep(config, nodes[i], &rng));
+    seconds.push_back(t * supersteps);
+    if (nodes[i] == options.reference_n) reference = seconds.back();
+  }
+  if (reference <= 0.0) {
+    return Status::Internal(
+        "simulated reference time is not positive (reference_n must be "
+        "among the evaluated node counts)");
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    curve.nodes.push_back(nodes[i]);
+    curve.speedup.push_back(reference / seconds[i]);
+  }
+  return curve;
+}
+
+}  // namespace
+
+Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
+                                     const AnalysisOptions& options) {
+  int max_nodes =
+      options.max_nodes > 0 ? options.max_nodes : scenario.cluster().max_nodes;
+  if (options.reference_n < 1 || options.reference_n > max_nodes) {
+    return Status::InvalidArgument("reference_n must be in [1, max_nodes]");
+  }
+
+  AnalysisReport report;
+  report.scenario_name = scenario.name();
+  DMLSCALE_ASSIGN_OR_RETURN(
+      report.curve, core::SpeedupAnalyzer::Compute(scenario, max_nodes,
+                                                   options.reference_n));
+  report.reference_seconds = scenario.Seconds(options.reference_n);
+  report.optimal_nodes = report.curve.OptimalNodes();
+  report.first_local_peak = report.curve.FirstLocalPeak();
+  report.peak_speedup = report.curve.PeakSpeedup();
+  report.scalable = report.curve.IsScalable();
+
+  if (options.target_speedup > 0.0 || options.workload_growth > 0.0) {
+    if (options.current_nodes < 1 || options.current_nodes > max_nodes) {
+      return Status::InvalidArgument("current_nodes must be in [1, max_nodes]");
+    }
+    // Growth scales the data-dependent computation term; the communication
+    // payload is the model, which does not grow with the input.
+    core::ScalableTimeFn time_fn = [&scenario](int n, double data_scale) {
+      return data_scale * scenario.ComputeSeconds(n) + scenario.CommSeconds(n);
+    };
+    core::CapacityPlanner planner(time_fn, max_nodes);
+    if (options.target_speedup > 0.0) {
+      report.speedup_answer = ToAnswer(
+          planner.NodesToSpeedUp(options.current_nodes, options.target_speedup));
+    }
+    if (options.workload_growth > 0.0) {
+      report.growth_answer = ToAnswer(planner.NodesForWorkloadGrowth(
+          options.current_nodes, options.workload_growth));
+    }
+  }
+
+  if (options.simulate) {
+    DMLSCALE_ASSIGN_OR_RETURN(
+        core::SpeedupCurve simulated,
+        SimulateCurve(scenario, options, report.curve.nodes));
+    DMLSCALE_ASSIGN_OR_RETURN(core::ValidationReport delta,
+                              core::CompareCurves(report.curve, simulated));
+    report.simulated = std::move(simulated);
+    report.model_vs_sim_mape = delta.mape;
+  }
+  return report;
+}
+
+void PrintReport(const AnalysisReport& report, std::ostream& os) {
+  os << "== Scenario: " << report.scenario_name << " ==\n";
+  std::vector<std::string> headers{"n", "speedup", "efficiency"};
+  if (report.simulated.has_value()) headers.push_back("simulated_speedup");
+  TablePrinter table(headers);
+  std::vector<double> efficiency = report.curve.Efficiency();
+  for (size_t i = 0; i < report.curve.nodes.size(); ++i) {
+    std::vector<std::string> row{std::to_string(report.curve.nodes[i]),
+                                 FormatDouble(report.curve.speedup[i], 4),
+                                 FormatDouble(efficiency[i], 4)};
+    if (report.simulated.has_value()) {
+      auto s = report.simulated->At(report.curve.nodes[i]);
+      row.push_back(FormatDouble(s.ok() ? s.value() : -1.0, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+
+  os << "t(reference) = " << FormatDouble(report.reference_seconds, 4)
+     << " s; optimal nodes = " << report.optimal_nodes << " (peak speedup "
+     << FormatDouble(report.peak_speedup, 4) << ", first local peak at "
+     << report.first_local_peak << "); scalable: "
+     << (report.scalable ? "yes" : "no") << "\n";
+  if (report.model_vs_sim_mape.has_value()) {
+    os << "Analytic vs simulated MAPE: "
+       << FormatDouble(*report.model_vs_sim_mape, 3) << "%\n";
+  }
+  if (report.speedup_answer.has_value()) {
+    const PlannerAnswer& q1 = *report.speedup_answer;
+    os << "Q1 (machines for the requested speedup): "
+       << (q1.achievable ? std::to_string(q1.nodes)
+                         : "not achievable — " + q1.note)
+       << "\n";
+  }
+  if (report.growth_answer.has_value()) {
+    const PlannerAnswer& q2 = *report.growth_answer;
+    os << "Q2 (machines to absorb the workload growth): "
+       << (q2.achievable ? std::to_string(q2.nodes)
+                         : "not achievable — " + q2.note)
+       << "\n";
+  }
+}
+
+}  // namespace dmlscale::api

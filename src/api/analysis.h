@@ -1,0 +1,94 @@
+#ifndef DMLSCALE_API_ANALYSIS_H_
+#define DMLSCALE_API_ANALYSIS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+
+#include "api/scenario.h"
+#include "common/status.h"
+#include "core/speedup.h"
+#include "sim/overhead.h"
+
+namespace dmlscale::api {
+
+/// What Analysis::Run should do beyond the speedup curve. Defaults answer
+/// the paper's core question (the curve and its optimum) only; planner
+/// questions and the discrete-event cross-check are opt-in.
+struct AnalysisOptions {
+  /// Node counts to evaluate: [1, max_nodes]. 0 = the scenario cluster's
+  /// max_nodes.
+  int max_nodes = 0;
+  /// Reference node count for speedup (1 = strong scaling from one node).
+  int reference_n = 1;
+
+  /// > 0: answer "how many machines to run `target_speedup`-times faster
+  /// than on `current_nodes`?" (the paper's Q1).
+  double target_speedup = 0.0;
+  /// > 0: answer "the workload grew `workload_growth`-times — how many
+  /// machines keep the `current_nodes` run time?" (the paper's Q2). Growth
+  /// scales the computation term linearly and leaves the communication
+  /// payload unchanged (more data, same model size).
+  double workload_growth = 0.0;
+  int current_nodes = 1;
+
+  /// Cross-check the analytic curve against the discrete-event simulator.
+  bool simulate = false;
+  /// Framework overheads injected into the simulation; None() makes the
+  /// simulated curve coincide with the analytic one.
+  sim::OverheadModel overhead;
+  /// Supersteps averaged per simulated point.
+  int sim_supersteps = 3;
+  uint64_t sim_seed = 42;
+};
+
+/// One capacity-planning answer; `achievable` is false when no node count
+/// within max_nodes reaches the target (`note` carries the reason).
+struct PlannerAnswer {
+  bool achievable = false;
+  int nodes = 0;
+  std::string note;
+};
+
+/// Everything the paper asks of one scenario, in one struct.
+struct AnalysisReport {
+  std::string scenario_name;
+
+  /// Analytic speedup curve over [1, max_nodes].
+  core::SpeedupCurve curve;
+  /// Iteration time at the reference node count, seconds.
+  double reference_seconds = 0.0;
+  /// argmax of the curve (Section III's optimal cluster size).
+  int optimal_nodes = 1;
+  /// First interior local peak (Fig. 2's "nine workers" read-off).
+  int first_local_peak = 1;
+  double peak_speedup = 1.0;
+  bool scalable = false;
+
+  /// Present when the corresponding option was requested.
+  std::optional<PlannerAnswer> speedup_answer;
+  std::optional<PlannerAnswer> growth_answer;
+
+  /// Present when options.simulate was set.
+  std::optional<core::SpeedupCurve> simulated;
+  /// MAPE between analytic and simulated speedups, percent.
+  std::optional<double> model_vs_sim_mape;
+};
+
+/// The unified front door: speedup analysis, capacity planning, and the
+/// discrete-event cross-check behind one call.
+class Analysis {
+ public:
+  static Result<AnalysisReport> Run(const Scenario& scenario,
+                                    const AnalysisOptions& options = {});
+};
+
+/// Renders the report in the bench drivers' table style: the speedup table
+/// (with the simulated column when present), the optimum line, and any
+/// planner answers.
+void PrintReport(const AnalysisReport& report, std::ostream& os);
+
+}  // namespace dmlscale::api
+
+#endif  // DMLSCALE_API_ANALYSIS_H_

@@ -1,0 +1,15 @@
+#ifndef DMLSCALE_API_API_H_
+#define DMLSCALE_API_API_H_
+
+/// Umbrella header for the dmlscale public facade: build a Scenario
+/// declaratively (hardware presets + registry-selected models), then ask
+/// Analysis for speedup curves, capacity plans, and simulator cross-checks.
+/// See src/api/README.md for a tour and the extension points.
+
+#include "api/analysis.h"   // IWYU pragma: export
+#include "api/params.h"     // IWYU pragma: export
+#include "api/presets.h"    // IWYU pragma: export
+#include "api/registry.h"   // IWYU pragma: export
+#include "api/scenario.h"   // IWYU pragma: export
+
+#endif  // DMLSCALE_API_API_H_

@@ -1,0 +1,48 @@
+#include "api/params.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dmlscale::api {
+
+namespace {
+
+std::string JoinKeys(const std::map<std::string, double>& values) {
+  std::vector<std::string> keys;
+  keys.reserve(values.size());
+  for (const auto& [key, value] : values) keys.push_back(key);
+  return Join(keys, ", ", "<none>");
+}
+
+}  // namespace
+
+Result<double> ModelParams::Get(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return Status::InvalidArgument("missing required parameter '" + key +
+                                   "' (provided: " + JoinKeys(values_) + ")");
+  }
+  return it->second;
+}
+
+double ModelParams::GetOr(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+Status ModelParams::ExpectOnly(
+    std::initializer_list<std::string_view> allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::vector<std::string> known(allowed.begin(), allowed.end());
+      return Status::InvalidArgument("unknown parameter '" + key +
+                                     "' (accepted: " +
+                                     Join(known, ", ", "<none>") + ")");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace dmlscale::api

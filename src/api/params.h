@@ -1,0 +1,55 @@
+#ifndef DMLSCALE_API_PARAMS_H_
+#define DMLSCALE_API_PARAMS_H_
+
+#include <initializer_list>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/status.h"
+
+namespace dmlscale::api {
+
+/// Named numeric parameters for a registered model factory, e.g.
+/// `{{"total_flops", 196e9}}` for "perfectly-parallel" or
+/// `{{"bits", 64e6}, {"rounds", 2}}` for "tree".
+///
+/// All model parameters in the paper's formulas are scalars (work, payload
+/// bits, fractions, round counts), so the bag holds doubles only; anything
+/// structural (hardware, link, callables) travels through the
+/// `ScenarioBuilder` instead.
+class ModelParams {
+ public:
+  ModelParams() = default;
+  ModelParams(std::initializer_list<std::pair<const std::string, double>> init)
+      : values_(init) {}
+
+  ModelParams& Set(std::string key, double value) {
+    values_[std::move(key)] = value;
+    return *this;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// The value for `key`; kInvalidArgument naming the key and listing the
+  /// keys that were provided when absent.
+  Result<double> Get(const std::string& key) const;
+
+  /// The value for `key`, or `def` when absent.
+  double GetOr(const std::string& key, double def) const;
+
+  /// Guards against typo'd parameter names: kInvalidArgument naming each key
+  /// not in `allowed` (factories call this so `--rounds` misspelled as
+  /// `--round` fails loudly instead of silently using the default).
+  Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+}  // namespace dmlscale::api
+
+#endif  // DMLSCALE_API_PARAMS_H_

@@ -1,0 +1,27 @@
+#include "api/presets.h"
+
+#include "common/units.h"
+
+namespace dmlscale::api::presets {
+
+core::LinkSpec GigabitEthernet() {
+  return core::LinkSpec{.bandwidth_bps = kGigabitPerSecond};
+}
+
+core::LinkSpec TenGigabitEthernet() {
+  return core::LinkSpec{.bandwidth_bps = 10.0 * kGigabitPerSecond};
+}
+
+core::NodeSpec GenericGigaflopNode() {
+  return core::NodeSpec{
+      .name = "generic", .peak_flops = kGiga, .efficiency = 1.0};
+}
+
+core::ClusterSpec Fig1Cluster(int max_nodes) {
+  return core::ClusterSpec{.node = GenericGigaflopNode(),
+                           .link = GigabitEthernet(),
+                           .max_nodes = max_nodes,
+                           .shared_memory = false};
+}
+
+}  // namespace dmlscale::api::presets

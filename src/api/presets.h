@@ -1,0 +1,35 @@
+#ifndef DMLSCALE_API_PRESETS_H_
+#define DMLSCALE_API_PRESETS_H_
+
+#include "core/hardware.h"
+
+namespace dmlscale::api::presets {
+
+/// The paper's named hardware, re-exported so facade users need only
+/// api/ headers. Definitions live in core/hardware.cc.
+using core::presets::Dl980Core;
+using core::presets::GpuCluster;
+using core::presets::NvidiaK40;
+using core::presets::SharedMemoryServer;
+using core::presets::SparkCluster;
+using core::presets::XeonE3_1240;
+using core::presets::XeonE3_1240Double;
+
+/// 1 Gbit/s Ethernet — the interconnect of every distributed experiment in
+/// the paper (Section V-A). Replaces the `LinkSpec{.bandwidth_bps = 1e9}`
+/// literal that used to be copy-pasted across drivers.
+core::LinkSpec GigabitEthernet();
+
+/// 10 Gbit/s Ethernet, for the Table-I-style network ablations.
+core::LinkSpec TenGigabitEthernet();
+
+/// The illustrative 1 GFLOP/s node of Fig. 1 (Section III): with 196 GFLOP
+/// of work and a 1 Gbit payload over GigE, the speedup peaks at 14 nodes.
+core::NodeSpec GenericGigaflopNode();
+
+/// Fig. 1's full cluster: generic nodes on GigE, up to 30 of them.
+core::ClusterSpec Fig1Cluster(int max_nodes = 30);
+
+}  // namespace dmlscale::api::presets
+
+#endif  // DMLSCALE_API_PRESETS_H_

@@ -1,0 +1,175 @@
+#include "api/registry.h"
+
+#include <memory>
+#include <utility>
+
+namespace dmlscale::api {
+
+ComputeModelRegistry& ComputeModels() {
+  static auto* registry = new ComputeModelRegistry();
+  return *registry;
+}
+
+CommModelRegistry& CommModels() {
+  static auto* registry = new CommModelRegistry();
+  return *registry;
+}
+
+namespace internal {
+
+bool RegisterOrDie(const Status& status) {
+  if (!status.ok()) {
+    dmlscale::internal::AbortWithMessage("model registration failed: " +
+                                         status.ToString());
+  }
+  return true;
+}
+
+}  // namespace internal
+
+namespace {
+
+using ComputeResult = Result<std::unique_ptr<core::ComputationModel>>;
+using CommResult = Result<std::unique_ptr<core::CommunicationModel>>;
+
+// ---------------------------------------------------------------------------
+// Built-in computation models (Section III / IV formulas from core/).
+// BottleneckCompute takes a callable, which a scalar parameter bag cannot
+// express; it is reachable through ScenarioBuilder::Compute(fn) instead.
+// ---------------------------------------------------------------------------
+
+DMLSCALE_REGISTER_COMPUTE_MODEL(
+    "perfectly-parallel", "total_flops",
+    [](const ModelParams& params, const core::NodeSpec& node) -> ComputeResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"total_flops"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double total_flops, params.Get("total_flops"));
+      if (total_flops <= 0.0) {
+        return Status::InvalidArgument("total_flops must be > 0");
+      }
+      return std::unique_ptr<core::ComputationModel>(
+          std::make_unique<core::PerfectlyParallelCompute>(total_flops, node));
+    });
+
+DMLSCALE_REGISTER_COMPUTE_MODEL(
+    "amdahl", "total_flops, serial_fraction",
+    [](const ModelParams& params, const core::NodeSpec& node) -> ComputeResult {
+      DMLSCALE_RETURN_NOT_OK(
+          params.ExpectOnly({"total_flops", "serial_fraction"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double total_flops, params.Get("total_flops"));
+      DMLSCALE_ASSIGN_OR_RETURN(double serial, params.Get("serial_fraction"));
+      if (total_flops <= 0.0) {
+        return Status::InvalidArgument("total_flops must be > 0");
+      }
+      if (serial < 0.0 || serial > 1.0) {
+        return Status::InvalidArgument("serial_fraction must be in [0, 1]");
+      }
+      return std::unique_ptr<core::ComputationModel>(
+          std::make_unique<core::AmdahlCompute>(total_flops, serial, node));
+    });
+
+// ---------------------------------------------------------------------------
+// Built-in communication models. `bits` is the collective's payload; the
+// composite "spark-gd" is the Fig. 2 protocol (torrent broadcast of the
+// parameters followed by two-wave aggregation, Section V-A).
+// ---------------------------------------------------------------------------
+
+Result<double> PositiveBits(const ModelParams& params) {
+  DMLSCALE_ASSIGN_OR_RETURN(double bits, params.Get("bits"));
+  if (bits <= 0.0) return Status::InvalidArgument("bits must be > 0");
+  return bits;
+}
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "shared-memory", "(no parameters)",
+    [](const ModelParams& params, const core::LinkSpec&) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({}));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::SharedMemoryComm>());
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "linear", "bits (per node, through a single master)",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::LinearComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "fixed-volume", "bits (independent of n)",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::FixedVolumeComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "tree", "bits, rounds (default 1; generic GD uses 2)",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits", "rounds"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      double rounds = params.GetOr("rounds", 1.0);
+      if (rounds <= 0.0) return Status::InvalidArgument("rounds must be > 0");
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::TreeComm>(bits, link, rounds));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "torrent-broadcast", "bits",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::TorrentBroadcastComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "two-wave", "bits",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::TwoWaveAggregationComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "ring-allreduce", "bits",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::RingAllReduceComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "recursive-doubling", "bits",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::RecursiveDoublingComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "shuffle", "bits (total volume across all nodes)",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::ShuffleComm>(bits, link));
+    });
+
+DMLSCALE_REGISTER_COMM_MODEL(
+    "spark-gd", "bits (torrent broadcast + two-wave aggregation, Fig. 2)",
+    [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
+      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      return std::unique_ptr<core::CommunicationModel>(core::CompositeComm::Of(
+          std::make_unique<core::TorrentBroadcastComm>(bits, link),
+          std::make_unique<core::TwoWaveAggregationComm>(bits, link)));
+    });
+
+}  // namespace
+}  // namespace dmlscale::api

@@ -1,0 +1,180 @@
+#include "api/scenario.h"
+
+#include <utility>
+
+#include "api/registry.h"
+#include "core/computation_model.h"
+
+namespace dmlscale::api {
+
+double Scenario::Seconds(int n) const {
+  return static_cast<double>(supersteps_) * step_->Seconds(n);
+}
+
+double Scenario::ComputeSeconds(int n) const {
+  return static_cast<double>(supersteps_) * step_->ComputeSeconds(n);
+}
+
+double Scenario::CommSeconds(int n) const {
+  return static_cast<double>(supersteps_) * step_->CommSeconds(n);
+}
+
+Result<core::SpeedupCurve> Scenario::Speedup(int max_nodes,
+                                             int reference_n) const {
+  if (max_nodes <= 0) max_nodes = cluster_.max_nodes;
+  return core::SpeedupAnalyzer::Compute(*this, max_nodes, reference_n);
+}
+
+Scenario::Builder& Scenario::Builder::Name(std::string name) {
+  name_ = std::move(name);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Hardware(core::NodeSpec node) {
+  node_ = std::move(node);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Hardware(
+    const core::ClusterSpec& cluster) {
+  node_ = cluster.node;
+  link_ = cluster.link;
+  max_nodes_ = cluster.max_nodes;
+  shared_memory_ = cluster.shared_memory;
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Link(core::LinkSpec link) {
+  link_ = link;
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::MaxNodes(int max_nodes) {
+  max_nodes_ = max_nodes;
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::SharedMemory(bool shared) {
+  shared_memory_ = shared;
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Compute(std::string model,
+                                              ModelParams params) {
+  has_compute_ = true;
+  compute_model_ = std::move(model);
+  compute_params_ = std::move(params);
+  compute_fn_ = nullptr;
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Compute(
+    std::function<double(int)> max_share_flops, std::string label) {
+  has_compute_ = true;
+  compute_model_.clear();
+  compute_params_ = ModelParams();
+  compute_fn_ = std::move(max_share_flops);
+  compute_label_ = std::move(label);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Comm(std::string model,
+                                           ModelParams params) {
+  has_comm_ = true;
+  comm_model_ = std::move(model);
+  comm_params_ = std::move(params);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Supersteps(int count) {
+  supersteps_ = count;
+  return *this;
+}
+
+Result<Scenario> Scenario::Builder::Build() const {
+  if (!node_.has_value()) {
+    return Status::FailedPrecondition(
+        "scenario '" + name_ + "': no hardware; call Hardware(NodeSpec)");
+  }
+  DMLSCALE_RETURN_NOT_OK(node_->Validate());
+
+  // Shared-memory scenarios never price the link, so it may be omitted; a
+  // distributed scenario without a link cannot cost communication.
+  core::LinkSpec link;
+  if (link_.has_value()) {
+    link = *link_;
+    DMLSCALE_RETURN_NOT_OK(link.Validate());
+  } else if (!shared_memory_) {
+    return Status::FailedPrecondition(
+        "scenario '" + name_ +
+        "': no interconnect; call Link(LinkSpec) or SharedMemory()");
+  }
+
+  if (max_nodes_ < 1) {
+    return Status::InvalidArgument("scenario '" + name_ +
+                                   "': max_nodes must be >= 1");
+  }
+  if (supersteps_ < 1) {
+    return Status::InvalidArgument("scenario '" + name_ +
+                                   "': supersteps must be >= 1");
+  }
+  if (!has_compute_) {
+    return Status::FailedPrecondition(
+        "scenario '" + name_ +
+        "': no computation model; call Compute(name, params). Registered "
+        "models:\n" +
+        ComputeModels().Help());
+  }
+
+  std::unique_ptr<core::ComputationModel> compute;
+  std::string compute_name;
+  if (compute_fn_) {
+    compute = std::make_unique<core::BottleneckCompute>(compute_fn_, *node_,
+                                                        compute_label_);
+    compute_name = compute_label_;
+  } else {
+    DMLSCALE_ASSIGN_OR_RETURN(
+        compute, ComputeModels().Create(compute_model_, compute_params_,
+                                        *node_));
+    compute_name = compute_model_;
+  }
+
+  std::string comm_name = comm_model_;
+  ModelParams comm_params = comm_params_;
+  if (!has_comm_) {
+    if (!shared_memory_) {
+      return Status::FailedPrecondition(
+          "scenario '" + name_ +
+          "': no communication model; call Comm(name, params) or "
+          "SharedMemory(). Registered models:\n" +
+          CommModels().Help());
+    }
+    comm_name = "shared-memory";
+    comm_params = ModelParams();
+  } else if (!link_.has_value() && comm_name != "shared-memory") {
+    // Without this check the zero-bandwidth default link would reach the
+    // factory and trip the model constructor's CHECK instead of returning.
+    return Status::FailedPrecondition(
+        "scenario '" + name_ + "': comm model '" + comm_name +
+        "' prices the interconnect; call Link(LinkSpec)");
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(
+      std::unique_ptr<core::CommunicationModel> comm,
+      CommModels().Create(comm_name, comm_params, link));
+
+  Scenario scenario;
+  scenario.name_ = name_;
+  scenario.cluster_ = core::ClusterSpec{.node = *node_,
+                                        .link = link,
+                                        .max_nodes = max_nodes_,
+                                        .shared_memory = shared_memory_};
+  scenario.supersteps_ = supersteps_;
+  scenario.step_ = std::make_unique<core::Superstep>(
+      std::move(compute), std::move(comm), name_ + "-superstep");
+  scenario.compute_name_ = std::move(compute_name);
+  scenario.comm_name_ = std::move(comm_name);
+  scenario.comm_params_ = std::move(comm_params);
+  return scenario;
+}
+
+}  // namespace dmlscale::api

@@ -1,0 +1,129 @@
+#ifndef DMLSCALE_API_SCENARIO_H_
+#define DMLSCALE_API_SCENARIO_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "api/params.h"
+#include "common/status.h"
+#include "core/hardware.h"
+#include "core/speedup.h"
+#include "core/superstep.h"
+
+namespace dmlscale::api {
+
+/// A fully described scalability scenario: hardware + one BSP superstep
+/// (computation and communication models resolved through the registries)
+/// repeated `supersteps` times per iteration. This is the library's
+/// declarative entry point — every paper figure is one of these:
+///
+///   auto scenario = api::Scenario::Builder()
+///                       .Name("fig1")
+///                       .Hardware(api::presets::GenericGigaflopNode())
+///                       .Link(api::presets::GigabitEthernet())
+///                       .MaxNodes(30)
+///                       .Compute("perfectly-parallel",
+///                                {{"total_flops", 196e9}})
+///                       .Comm("linear", {{"bits", 1e9}})
+///                       .Build();
+///
+/// `Scenario` is itself an `AlgorithmModel`, so it plugs directly into
+/// `SpeedupAnalyzer`, `CapacityPlanner`, and `Analysis::Run`.
+class Scenario final : public core::AlgorithmModel {
+ public:
+  class Builder;
+
+  /// Iteration time on `n` nodes: supersteps * (tcp(n) + tcm(n)).
+  double Seconds(int n) const override;
+  std::string name() const override { return name_; }
+
+  /// The computation term alone (all supersteps), for diagnostics tables.
+  double ComputeSeconds(int n) const;
+  /// The communication term alone (all supersteps).
+  double CommSeconds(int n) const;
+
+  const core::ClusterSpec& cluster() const { return cluster_; }
+  int supersteps() const { return supersteps_; }
+  const std::string& compute_name() const { return compute_name_; }
+  const std::string& comm_name() const { return comm_name_; }
+  /// The parameters the communication model was built from ("bits" is what
+  /// the simulator's serialization overhead needs).
+  const ModelParams& comm_params() const { return comm_params_; }
+
+  /// Convenience: the strong-scaling speedup curve up to `max_nodes`
+  /// (0 = the cluster's max_nodes).
+  Result<core::SpeedupCurve> Speedup(int max_nodes = 0,
+                                     int reference_n = 1) const;
+
+ private:
+  Scenario() = default;
+
+  std::string name_;
+  core::ClusterSpec cluster_;
+  int supersteps_ = 1;
+  std::unique_ptr<core::Superstep> step_;
+  std::string compute_name_;
+  std::string comm_name_;
+  ModelParams comm_params_;
+};
+
+/// Fluent builder; every setter returns *this so scenarios read as one
+/// declaration. `Build()` validates eagerly (hardware specs, registry
+/// lookups, parameter bags) and returns the first error it finds.
+class Scenario::Builder {
+ public:
+  Builder& Name(std::string name);
+
+  /// The node type; resets nothing else.
+  Builder& Hardware(core::NodeSpec node);
+  /// A full cluster: node + link + max_nodes + shared_memory in one call.
+  Builder& Hardware(const core::ClusterSpec& cluster);
+  Builder& Link(core::LinkSpec link);
+  Builder& MaxNodes(int max_nodes);
+  /// Marks communication as free (the paper's DL980 runs, Section V-B);
+  /// when no Comm() is given, a shared-memory scenario defaults to the
+  /// "shared-memory" model.
+  Builder& SharedMemory(bool shared = true);
+
+  /// Selects a registered computation model by name.
+  Builder& Compute(std::string model, ModelParams params = {});
+  /// Escape hatch for models a scalar parameter bag cannot express: the
+  /// per-superstep bottleneck work in FLOPs as a function of n (wrapped in
+  /// core::BottleneckCompute, e.g. Section IV-B's max_i(E_i) * c(S)).
+  Builder& Compute(std::function<double(int)> max_share_flops,
+                   std::string label = "custom-compute");
+
+  /// Selects a registered communication model by name.
+  Builder& Comm(std::string model, ModelParams params = {});
+
+  /// Supersteps per iteration (>= 1); the iteration time is their sum.
+  Builder& Supersteps(int count);
+
+  /// Validates and assembles the scenario.
+  Result<Scenario> Build() const;
+
+ private:
+  std::string name_ = "scenario";
+  std::optional<core::NodeSpec> node_;
+  std::optional<core::LinkSpec> link_;
+  int max_nodes_ = 64;
+  bool shared_memory_ = false;
+  int supersteps_ = 1;
+
+  bool has_compute_ = false;
+  std::string compute_model_;
+  ModelParams compute_params_;
+  std::function<double(int)> compute_fn_;
+  std::string compute_label_;
+
+  bool has_comm_ = false;
+  std::string comm_model_;
+  ModelParams comm_params_;
+};
+
+}  // namespace dmlscale::api
+
+#endif  // DMLSCALE_API_SCENARIO_H_

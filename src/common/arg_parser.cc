@@ -1,5 +1,7 @@
 #include "common/arg_parser.h"
 
+#include <algorithm>
+
 #include "common/string_util.h"
 
 namespace dmlscale {
@@ -28,6 +30,22 @@ Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
 
 bool ArgParser::Has(const std::string& key) const {
   return values_.count(key) > 0;
+}
+
+Status ArgParser::CheckKnown(const std::vector<std::string>& known) const {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : values_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      unknown.push_back("--" + key);
+    }
+  }
+  if (unknown.empty()) return Status::OK();
+  std::vector<std::string> flags;
+  flags.reserve(known.size());
+  for (const auto& key : known) flags.push_back("--" + key);
+  return Status::InvalidArgument("unknown flag(s): " + Join(unknown, ", ") +
+                                 "; known flags: " +
+                                 Join(flags, ", ", "<none>"));
 }
 
 std::string ArgParser::GetString(const std::string& key,

@@ -18,6 +18,12 @@ class ArgParser {
 
   bool Has(const std::string& key) const;
 
+  /// Rejects typo'd flags: kInvalidArgument naming each parsed `--flag` not
+  /// in `known`, plus the full list of known flags. Drivers call this once,
+  /// after Parse, with every flag they read — otherwise a misspelled flag
+  /// silently falls back to its default.
+  Status CheckKnown(const std::vector<std::string>& known) const;
+
   /// Typed getters with defaults.
   std::string GetString(const std::string& key, const std::string& def) const;
   int64_t GetInt(const std::string& key, int64_t def) const;

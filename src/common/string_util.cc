@@ -20,6 +20,17 @@ std::vector<std::string> Split(std::string_view s, char delim) {
   return out;
 }
 
+std::string Join(const std::vector<std::string>& parts, std::string_view sep,
+                 std::string_view empty) {
+  if (parts.empty()) return std::string(empty);
+  std::string out = parts.front();
+  for (size_t i = 1; i < parts.size(); ++i) {
+    out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
 std::string_view StripWhitespace(std::string_view s) {
   size_t b = 0;
   while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;

@@ -1,8 +1,10 @@
 #include "sim/workloads.h"
 
 #include <algorithm>
+#include <string>
 
 #include "sim/collectives.h"
+#include "sim/simulator.h"
 
 namespace dmlscale::sim {
 
@@ -113,6 +115,53 @@ Result<double> SimulateBpSuperstep(const BpSimConfig& config, Pcg32* rng) {
       slowest = std::max(slowest, seconds);
     }
     total += slowest + config.overhead.SchedulingSeconds(n);
+  }
+  return total / static_cast<double>(config.supersteps);
+}
+
+Status SuperstepSimConfig::Validate() const {
+  if (!compute_seconds) {
+    return Status::InvalidArgument("compute_seconds must be set");
+  }
+  if (!comm_seconds) return Status::InvalidArgument("comm_seconds must be set");
+  if (message_bits < 0.0) {
+    return Status::InvalidArgument("message_bits must be >= 0");
+  }
+  if (supersteps < 1) return Status::InvalidArgument("supersteps must be >= 1");
+  return Status::OK();
+}
+
+Result<double> SimulateGenericSuperstep(const SuperstepSimConfig& config,
+                                        int n, Pcg32* rng) {
+  DMLSCALE_RETURN_NOT_OK(config.Validate());
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+
+  double compute = config.compute_seconds(n);
+  double comm = config.comm_seconds(n);
+  if (compute < 0.0 || comm < 0.0) {
+    return Status::InvalidArgument("negative model time at n=" +
+                                   std::to_string(n));
+  }
+
+  double total = 0.0;
+  for (int step = 0; step < config.supersteps; ++step) {
+    Simulator simulator;
+    double barrier = 0.0;
+    // Scheduling delays every worker's start; the barrier falls when the
+    // slowest (jittered) worker finishes.
+    double start = config.overhead.SchedulingSeconds(n);
+    for (int worker = 0; worker < n; ++worker) {
+      double finish = start + compute * config.overhead.SampleJitter(rng);
+      simulator.ScheduleAt(finish, [&barrier, &simulator] {
+        barrier = std::max(barrier, simulator.Now());
+      });
+    }
+    simulator.Run();
+    double serialize =
+        config.overhead.serialize_s_per_bit * config.message_bits;
+    simulator.ScheduleAt(barrier + comm + serialize, [] {});
+    total += simulator.Run();
   }
   return total / static_cast<double>(config.supersteps);
 }

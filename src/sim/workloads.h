@@ -2,6 +2,7 @@
 #define DMLSCALE_SIM_WORKLOADS_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/random.h"
@@ -64,6 +65,34 @@ struct BpSimConfig {
 /// which grows with the worker count — the effect the paper observes at
 /// high core counts in Fig. 4. Returns mean superstep seconds.
 Result<double> SimulateBpSuperstep(const BpSimConfig& config, Pcg32* rng);
+
+/// Configuration of a model-agnostic BSP superstep simulation — the
+/// discrete-event counterpart of any analytic compute + communication pair
+/// (api::Analysis uses it to produce the "measured" series for a Scenario).
+struct SuperstepSimConfig {
+  /// Analytic parallel computation wall time at `n` nodes, seconds (each
+  /// worker receives this duration, perturbed by straggler jitter).
+  std::function<double(int)> compute_seconds;
+  /// Analytic communication time at `n` nodes, seconds.
+  std::function<double(int)> comm_seconds;
+  /// Payload bits per superstep, priced by `overhead.serialize_s_per_bit`
+  /// (0 = no serialization cost).
+  double message_bits = 0.0;
+  OverheadModel overhead;
+  /// Supersteps to average over (straggler jitter makes runs stochastic).
+  int supersteps = 3;
+
+  Status Validate() const;
+};
+
+/// Runs `supersteps` BSP supersteps on `n` workers through the event queue:
+/// scheduling overhead, then each worker computes (jittered), the barrier
+/// falls at the slowest worker, and the collective completes after
+/// comm_seconds(n) plus serialization. With OverheadModel::None() the result
+/// equals compute_seconds(n) + comm_seconds(n) exactly, so model-vs-sim
+/// deltas isolate the framework overheads. Returns mean superstep seconds.
+Result<double> SimulateGenericSuperstep(const SuperstepSimConfig& config,
+                                        int n, Pcg32* rng);
 
 }  // namespace dmlscale::sim
 

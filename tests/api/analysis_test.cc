@@ -1,0 +1,163 @@
+#include "api/analysis.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "api/presets.h"
+#include "api/scenario.h"
+
+namespace dmlscale::api {
+namespace {
+
+/// Fig. 1's scenario (Section III): 196 GFLOP perfectly parallel on
+/// 1 GFLOP/s nodes, linear communication of 1 Gbit over GigE, so
+/// t(n) = 196/n + n and the optimum is sqrt(196) = 14 nodes.
+Result<Scenario> Fig1Scenario() {
+  return Scenario::Builder()
+      .Name("fig1")
+      .Hardware(presets::Fig1Cluster(30))
+      .Compute("perfectly-parallel", {{"total_flops", 196.0e9}})
+      .Comm("linear", {{"bits", 1e9}})
+      .Build();
+}
+
+TEST(AnalysisTest, ReproducesFig1OptimalNodes) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+  auto report = Analysis::Run(*scenario);
+  ASSERT_TRUE(report.ok());
+
+  EXPECT_EQ(report->optimal_nodes, 14);
+  EXPECT_TRUE(report->scalable);
+  // t(1) = 196 (the n=1 communication term is zero — nothing to exchange).
+  EXPECT_DOUBLE_EQ(report->reference_seconds, 196.0);
+  // s(14) = 196 / (196/14 + 14) = 196/28 = 7.
+  EXPECT_NEAR(report->peak_speedup, 7.0, 1e-12);
+  ASSERT_EQ(report->curve.nodes.size(), 30u);
+  EXPECT_FALSE(report->speedup_answer.has_value());
+  EXPECT_FALSE(report->simulated.has_value());
+}
+
+TEST(AnalysisTest, PlannerAnswersBothQuestions) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.target_speedup = 3.0;
+  options.workload_growth = 2.0;
+  options.current_nodes = 1;
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+
+  // Q1: t(1)/3 = 65.67 s; t(3) = 196/3 + 3 = 68.3, t(4) = 53: 4 machines.
+  ASSERT_TRUE(report->speedup_answer.has_value());
+  EXPECT_TRUE(report->speedup_answer->achievable);
+  EXPECT_EQ(report->speedup_answer->nodes, 4);
+
+  // Q2: smallest n with 2*196/n + n <= 197: n = 2 gives 198 > 197,
+  // n = 3 gives 133.67: 3 machines.
+  ASSERT_TRUE(report->growth_answer.has_value());
+  EXPECT_TRUE(report->growth_answer->achievable);
+  EXPECT_EQ(report->growth_answer->nodes, 3);
+}
+
+TEST(AnalysisTest, UnreachableTargetReportsNotAchievable) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.target_speedup = 100.0;  // peak speedup is ~7: impossible
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->speedup_answer.has_value());
+  EXPECT_FALSE(report->speedup_answer->achievable);
+  EXPECT_FALSE(report->speedup_answer->note.empty());
+}
+
+TEST(AnalysisTest, SimulationWithoutOverheadMatchesAnalyticCurve) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  options.overhead = sim::OverheadModel::None();
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+
+  ASSERT_TRUE(report->simulated.has_value());
+  ASSERT_TRUE(report->model_vs_sim_mape.has_value());
+  // The event-driven superstep with no overhead IS the closed-form model.
+  EXPECT_NEAR(*report->model_vs_sim_mape, 0.0, 1e-9);
+  EXPECT_EQ(report->simulated->OptimalNodes(), report->optimal_nodes);
+}
+
+TEST(AnalysisTest, SimulatedOverheadShiftsOptimumDown) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  // Heavy per-worker scheduling cost: large clusters pay for dispatch, so
+  // the measured optimum lands below the analytic one (the Fig. 2 effect).
+  options.overhead.sched_per_worker_s = 2.0;
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+  ASSERT_TRUE(report->simulated.has_value());
+  EXPECT_LT(report->simulated->OptimalNodes(), report->optimal_nodes);
+  EXPECT_GT(*report->model_vs_sim_mape, 1.0);
+}
+
+TEST(AnalysisTest, RespectsExplicitMaxNodesAndReference) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.max_nodes = 10;
+  options.reference_n = 2;
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->curve.nodes.size(), 10u);
+  EXPECT_EQ(report->curve.reference_n, 2);
+  // Communication-bound tail is cut off at 10, so the argmax is 10... no:
+  // t(n) = 196/n + n is minimized at 10 within [1, 10] (still decreasing).
+  EXPECT_EQ(report->optimal_nodes, 10);
+  EXPECT_DOUBLE_EQ(report->reference_seconds, scenario->Seconds(2));
+}
+
+TEST(AnalysisTest, InvalidOptionsFail) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.reference_n = 99;  // > max_nodes
+  EXPECT_FALSE(Analysis::Run(*scenario, options).ok());
+
+  AnalysisOptions bad_current;
+  bad_current.target_speedup = 2.0;
+  bad_current.current_nodes = 0;
+  EXPECT_FALSE(Analysis::Run(*scenario, bad_current).ok());
+}
+
+TEST(AnalysisTest, PrintReportRendersTableAndAnswers) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+  AnalysisOptions options;
+  options.target_speedup = 3.0;
+  options.simulate = true;
+  options.overhead = sim::OverheadModel::None();
+  auto report = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(report.ok());
+
+  std::ostringstream os;
+  PrintReport(*report, os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("fig1"), std::string::npos);
+  EXPECT_NE(out.find("simulated_speedup"), std::string::npos);
+  EXPECT_NE(out.find("optimal nodes = 14"), std::string::npos);
+  EXPECT_NE(out.find("Q1"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);  // the table rule
+}
+
+}  // namespace
+}  // namespace dmlscale::api

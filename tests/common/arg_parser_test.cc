@@ -70,5 +70,34 @@ TEST(ArgParserTest, LastValueWins) {
   EXPECT_EQ(args.GetInt("n", 0), 2);
 }
 
+TEST(ArgParserTest, CheckKnownAcceptsKnownFlags) {
+  ArgParser args = MustParse({"--nodes=16", "--verbose"});
+  EXPECT_TRUE(args.CheckKnown({"nodes", "verbose", "bandwidth"}).ok());
+}
+
+// Regression: typos used to silently fall back to defaults; drivers now get
+// a kInvalidArgument that names the bad flag and lists the known ones.
+TEST(ArgParserTest, CheckKnownRejectsUnknownFlag) {
+  ArgParser args = MustParse({"--max-nodse=30"});
+  Status status = args.CheckKnown({"max-nodes", "flops"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--max-nodse"), std::string::npos);
+  EXPECT_NE(status.message().find("--max-nodes"), std::string::npos);
+  EXPECT_NE(status.message().find("--flops"), std::string::npos);
+}
+
+TEST(ArgParserTest, CheckKnownListsEveryUnknownFlag) {
+  ArgParser args = MustParse({"--a=1", "--b=2", "--c=3"});
+  Status status = args.CheckKnown({"b"});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("--a"), std::string::npos);
+  EXPECT_NE(status.message().find("--c"), std::string::npos);
+}
+
+TEST(ArgParserTest, CheckKnownIgnoresPositionals) {
+  ArgParser args = MustParse({"input.txt", "--k=1"});
+  EXPECT_TRUE(args.CheckKnown({"k"}).ok());
+}
+
 }  // namespace
 }  // namespace dmlscale

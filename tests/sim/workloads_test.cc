@@ -170,5 +170,67 @@ TEST(BpSimTest, PerWorkerOverheadGrowsWithN) {
   EXPECT_GT(large_n, small_n / 16.0);
 }
 
+TEST(GenericSuperstepSimTest, NoOverheadReproducesClosedForm) {
+  SuperstepSimConfig config{
+      .compute_seconds = [](int n) { return 196.0 / n; },
+      .comm_seconds = [](int n) { return n == 1 ? 0.0 : 1.0 * n; },
+      .overhead = OverheadModel::None(),
+      .supersteps = 2};
+  Pcg32 rng(1);
+  for (int n : {1, 4, 14, 30}) {
+    auto t = SimulateGenericSuperstep(config, n, &rng);
+    ASSERT_TRUE(t.ok());
+    EXPECT_DOUBLE_EQ(t.value(), 196.0 / n + (n == 1 ? 0.0 : 1.0 * n))
+        << "n=" << n;
+  }
+}
+
+TEST(GenericSuperstepSimTest, OverheadsAddUp) {
+  SuperstepSimConfig config{
+      .compute_seconds = [](int) { return 2.0; },
+      .comm_seconds = [](int) { return 1.0; },
+      .message_bits = 1e9,
+      .overhead = OverheadModel{.sched_fixed_s = 0.5,
+                                .sched_per_worker_s = 0.25,
+                                .serialize_s_per_bit = 1e-9},
+      .supersteps = 3};
+  Pcg32 rng(2);
+  auto t = SimulateGenericSuperstep(config, 4, &rng);
+  ASSERT_TRUE(t.ok());
+  // scheduling (0.5 + 4*0.25) + compute 2 + comm 1 + serialization 1.
+  EXPECT_DOUBLE_EQ(t.value(), 1.5 + 2.0 + 1.0 + 1.0);
+}
+
+TEST(GenericSuperstepSimTest, StragglersStretchTheBarrier) {
+  SuperstepSimConfig no_jitter{
+      .compute_seconds = [](int) { return 10.0; },
+      .comm_seconds = [](int) { return 0.5; },
+      .overhead = OverheadModel::None(),
+      .supersteps = 20};
+  SuperstepSimConfig jitter = no_jitter;
+  jitter.overhead.straggler_sigma = 0.3;
+  Pcg32 rng(3);
+  double base = SimulateGenericSuperstep(no_jitter, 16, &rng).value();
+  // The barrier waits for the slowest of 16 log-normal draws, whose
+  // expected max exceeds the median-1 deterministic time.
+  double stretched = SimulateGenericSuperstep(jitter, 16, &rng).value();
+  EXPECT_GT(stretched, base);
+}
+
+TEST(GenericSuperstepSimTest, RejectsInvalidConfig) {
+  Pcg32 rng(4);
+  SuperstepSimConfig config{
+      .compute_seconds = [](int) { return 1.0; },
+      .comm_seconds = nullptr,
+      .overhead = OverheadModel::None(),
+      .supersteps = 1};
+  EXPECT_FALSE(SimulateGenericSuperstep(config, 2, &rng).ok());
+  config.comm_seconds = [](int) { return 1.0; };
+  EXPECT_FALSE(SimulateGenericSuperstep(config, 0, &rng).ok());
+  EXPECT_FALSE(SimulateGenericSuperstep(config, 2, nullptr).ok());
+  config.supersteps = 0;
+  EXPECT_FALSE(SimulateGenericSuperstep(config, 2, &rng).ok());
+}
+
 }  // namespace
 }  // namespace dmlscale::sim
