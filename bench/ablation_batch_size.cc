@@ -2,38 +2,62 @@
 // as a function of batch size S. Larger batches amortize the fixed
 // communication volume (64W/B per stage), pushing the optimal worker count
 // out — the computation-communication trade-off of Section III.
+//
+// Ported onto the sweep engine: the batch sizes are one scenario axis of a
+// SweepGrid (compute = perfectly-parallel C*S, comm = the Fig. 2 Spark
+// protocol from the registry), evaluated in one SweepRunner pass.
 
 #include <iostream>
 
 #include "bench_util.h"
 #include "models/gradient_descent.h"
+#include "sweep/sweep.h"
 
 namespace dmlscale {
 namespace {
 
 int Run() {
-  core::NodeSpec node = core::presets::XeonE3_1240Double();
-  core::LinkSpec link{.bandwidth_bps = 1e9};
+  models::GdWorkload workload = models::SparkMnistWorkload();
+
+  sweep::SweepGrid grid;
+  for (double batch : {1875.0, 7500.0, 15000.0, 30000.0, 60000.0, 120000.0,
+                       240000.0}) {
+    grid.AddScenario(
+        {.label = "S=" + FormatDouble(batch, 6),
+         .compute_model = "perfectly-parallel",
+         .compute_params = {{"total_flops", workload.ops_per_example * batch}},
+         .comm_model = "spark-gd",
+         .comm_params = {{"bits", workload.MessageBits()}},
+         .supersteps = 1});
+  }
+  grid.AddHardware(
+      {.label = "xeon-gige",
+       .cluster = core::ClusterSpec{.node = core::presets::XeonE3_1240Double(),
+                                    .link = api::presets::GigabitEthernet(),
+                                    .max_nodes = 128,
+                                    .shared_memory = false}});
+
+  auto report = sweep::SweepRunner().Run(grid);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
 
   std::cout << "== Ablation: batch size vs strong-scaling optimum "
                "(Fig. 2 workload) ==\n";
   TablePrinter table({"batch size S", "t(1) s", "optimal n", "peak speedup",
                       "efficiency at peak"});
-  for (double batch : {1875.0, 7500.0, 15000.0, 30000.0, 60000.0, 120000.0,
-                       240000.0}) {
-    models::GdWorkload workload = models::SparkMnistWorkload();
-    workload.batch_size = batch;
-    models::SparkGdModel model(workload, node, link);
-    auto curve = core::SpeedupAnalyzer::Compute(model, 128);
-    if (!curve.ok()) {
-      std::cerr << curve.status() << "\n";
+  for (const sweep::SweepCellResult& cell : report->cells) {
+    if (!cell.ok()) {
+      std::cerr << cell.scenario_label << ": " << cell.status << "\n";
       return 1;
     }
-    int optimal = curve->OptimalNodes();
-    double peak = curve->PeakSpeedup();
-    table.AddRow({FormatDouble(batch, 6), FormatDouble(model.Seconds(1), 4),
-                  std::to_string(optimal), FormatDouble(peak, 4),
-                  FormatDouble(peak / optimal, 4)});
+    const api::AnalysisReport& r = cell.report;
+    table.AddRow({cell.scenario_label.substr(2),
+                  FormatDouble(r.reference_seconds, 4),
+                  std::to_string(r.optimal_nodes),
+                  FormatDouble(r.peak_speedup, 4),
+                  FormatDouble(r.peak_speedup / r.optimal_nodes, 4)});
   }
   table.Print(std::cout);
   std::cout << "\nDoubling S roughly doubles computation per iteration while "

@@ -3,63 +3,75 @@
 // discussion (Section II) criticizes linear-communication models; this
 // quantifies the difference against tree, Spark torrent+sqrt, and ring
 // all-reduce.
+//
+// Ported onto the sweep engine: the topologies are one scenario axis of a
+// SweepGrid (each a registry-selected communication model over the same
+// perfectly-parallel computation), evaluated in one SweepRunner pass.
 
 #include <iostream>
-#include <memory>
 
 #include "bench_util.h"
-#include "core/communication_model.h"
-#include "core/computation_model.h"
-#include "core/superstep.h"
 #include "models/gradient_descent.h"
+#include "sweep/sweep.h"
 
 namespace dmlscale {
 namespace {
 
 int Run() {
   models::GdWorkload workload = models::SparkMnistWorkload();
-  core::NodeSpec node = core::presets::XeonE3_1240Double();
-  core::LinkSpec link{.bandwidth_bps = 1e9};
   double bits = workload.MessageBits();
   double total_ops = workload.ops_per_example * workload.batch_size;
   const int kMaxNodes = 64;
 
   struct Variant {
-    std::string name;
-    std::unique_ptr<core::CommunicationModel> comm;
+    std::string label;
+    std::string comm_model;
+    api::ModelParams comm_params;
   };
-  std::vector<Variant> variants;
-  variants.push_back({"linear (Sparks et al.)",
-                      std::make_unique<core::LinearComm>(bits, link)});
-  variants.push_back(
-      {"tree log2 x2", std::make_unique<core::TreeComm>(bits, link, 2.0)});
-  variants.push_back(
-      {"spark torrent+2sqrt",
-       core::CompositeComm::Of(
-           std::make_unique<core::TorrentBroadcastComm>(bits, link),
-           std::make_unique<core::TwoWaveAggregationComm>(bits, link))});
-  variants.push_back({"ring all-reduce",
-                      std::make_unique<core::RingAllReduceComm>(bits, link)});
-  variants.push_back(
-      {"recursive-doubling",
-       std::make_unique<core::RecursiveDoublingComm>(bits, link)});
+  std::vector<Variant> variants{
+      {"linear (Sparks et al.)", "linear", {{"bits", bits}}},
+      {"tree log2 x2", "tree", {{"bits", bits}, {"rounds", 2}}},
+      {"spark torrent+2sqrt", "spark-gd", {{"bits", bits}}},
+      {"ring all-reduce", "ring-allreduce", {{"bits", bits}}},
+      {"recursive-doubling", "recursive-doubling", {{"bits", bits}}},
+  };
+
+  sweep::SweepGrid grid;
+  for (const Variant& variant : variants) {
+    grid.AddScenario({.label = variant.label,
+                      .compute_model = "perfectly-parallel",
+                      .compute_params = {{"total_flops", total_ops}},
+                      .comm_model = variant.comm_model,
+                      .comm_params = variant.comm_params,
+                      .supersteps = 1});
+  }
+  grid.AddHardware(
+      {.label = "xeon-gige",
+       .cluster = core::ClusterSpec{.node = core::presets::XeonE3_1240Double(),
+                                    .link = api::presets::GigabitEthernet(),
+                                    .max_nodes = kMaxNodes,
+                                    .shared_memory = false}});
+
+  auto report = sweep::SweepRunner().Run(grid);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
 
   std::cout << "== Ablation: communication topology for Fig. 2 workload ==\n";
   TablePrinter table({"topology", "optimal n", "peak speedup", "s(16)",
                       "s(64)"});
-  for (auto& variant : variants) {
-    core::Superstep step(
-        std::make_unique<core::PerfectlyParallelCompute>(total_ops, node),
-        std::move(variant.comm), variant.name);
-    auto curve = core::SpeedupAnalyzer::Compute(step, kMaxNodes);
-    if (!curve.ok()) {
-      std::cerr << curve.status() << "\n";
+  for (const sweep::SweepCellResult& cell : report->cells) {
+    if (!cell.ok()) {
+      std::cerr << cell.scenario_label << ": " << cell.status << "\n";
       return 1;
     }
-    table.AddRow({variant.name, std::to_string(curve->OptimalNodes()),
-                  FormatDouble(curve->PeakSpeedup(), 4),
-                  FormatDouble(curve->At(16).value(), 4),
-                  FormatDouble(curve->At(64).value(), 4)});
+    const core::SpeedupCurve& curve = cell.report.curve;
+    table.AddRow({cell.scenario_label,
+                  std::to_string(cell.report.optimal_nodes),
+                  FormatDouble(cell.report.peak_speedup, 4),
+                  FormatDouble(curve.At(16).value(), 4),
+                  FormatDouble(curve.At(64).value(), 4)});
   }
   table.Print(std::cout);
   std::cout << "\nExpected ordering: linear saturates earliest; ring "

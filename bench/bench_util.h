@@ -22,7 +22,7 @@ inline void PrintSpeedupComparison(const std::string& title,
   for (size_t i = 0; i < measured.nodes.size(); ++i) {
     auto m = model.At(measured.nodes[i]);
     table.AddRow({std::to_string(measured.nodes[i]),
-                  FormatDouble(m.ok() ? m.value() : -1.0, 4),
+                  m.ok() ? FormatDouble(m.value(), 4) : "n/a",
                   FormatDouble(measured.speedup[i], 4)});
   }
   table.Print(std::cout);

@@ -1,0 +1,43 @@
+# End-to-end smoke for the sweep engine:
+#   cmake -DDRIVER=<sweep_grid binary> -DCSV=<output path> -P DmlSweepSmoke.cmake
+# Runs a shrunk paper grid on several threads, then asserts the CSV header
+# and that at least one data row came out ok. The run itself exercises the
+# full parallel path (ThreadPool fan-out, shared eval cache, per-cell
+# seeding), which is why the TSan job runs this entry too.
+if(NOT DRIVER OR NOT CSV)
+  message(FATAL_ERROR "DmlSweepSmoke.cmake requires -DDRIVER=... and -DCSV=...")
+endif()
+
+execute_process(
+  COMMAND ${DRIVER} --threads=4 --max-nodes=16 --sim-supersteps=2 --csv=${CSV}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+    "${DRIVER} exited with ${rc}\nstdout:\n${out}\nstderr:\n${err}")
+endif()
+
+if(NOT EXISTS ${CSV})
+  message(FATAL_ERROR "${DRIVER} did not write ${CSV}")
+endif()
+file(STRINGS ${CSV} csv_lines)
+list(LENGTH csv_lines num_lines)
+if(num_lines LESS 2)
+  message(FATAL_ERROR "expected a header plus >= 1 data row in ${CSV}, "
+                      "got ${num_lines} line(s)")
+endif()
+list(GET csv_lines 0 header)
+if(NOT header STREQUAL "cell,scenario,hardware,options,status,t_ref_s,optimal_nodes,first_local_peak,peak_speedup,peak_efficiency,scalable,q1_nodes,q2_nodes,mape_pct")
+  message(FATAL_ERROR "unexpected CSV header in ${CSV}: ${header}")
+endif()
+set(found_ok_row FALSE)
+foreach(line IN LISTS csv_lines)
+  if(line MATCHES ",ok,")
+    set(found_ok_row TRUE)
+  endif()
+endforeach()
+if(NOT found_ok_row)
+  message(FATAL_ERROR "no ok data row in ${CSV}:\n${csv_lines}")
+endif()
+message(STATUS "sweep-smoke OK: ${num_lines} CSV lines from ${DRIVER}")

@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "core/planner.h"
 #include "core/validation.h"
 #include "sim/workloads.h"
@@ -27,34 +28,93 @@ PlannerAnswer ToAnswer(const Result<int>& result) {
   return answer;
 }
 
+/// Per-node-count time functions, routed through the shared eval cache when
+/// one is configured. Everything downstream (curve, planner, simulator)
+/// prices the scenario exclusively through these two.
+struct ScenarioTimes {
+  std::function<double(int)> compute_s;
+  std::function<double(int)> comm_s;
+
+  double Seconds(int n) const { return compute_s(n) + comm_s(n); }
+};
+
+ScenarioTimes MakeTimes(const Scenario& scenario, MemoCache* cache) {
+  if (cache == nullptr) {
+    return ScenarioTimes{
+        .compute_s = [&scenario](int n) { return scenario.ComputeSeconds(n); },
+        .comm_s = [&scenario](int n) { return scenario.CommSeconds(n); }};
+  }
+  return ScenarioTimes{
+      .compute_s =
+          [&scenario, cache](int n) {
+            return cache->GetOrCompute(
+                scenario.name() + "|cp|" + std::to_string(n),
+                [&scenario, n] { return scenario.ComputeSeconds(n); });
+          },
+      .comm_s = [&scenario, cache](int n) {
+        return cache->GetOrCompute(
+            scenario.name() + "|cm|" + std::to_string(n),
+            [&scenario, n] { return scenario.CommSeconds(n); });
+      }};
+}
+
 Result<core::SpeedupCurve> SimulateCurve(const Scenario& scenario,
+                                         const ScenarioTimes& times,
                                          const AnalysisOptions& options,
                                          const std::vector<int>& nodes) {
   int supersteps = scenario.supersteps();
+  // Scenario::Builder rejects supersteps < 1, but guard the division here
+  // too: a zero would turn every simulated point into inf/NaN.
+  if (supersteps < 1) {
+    return Status::InvalidArgument("scenario '" + scenario.name() +
+                                   "': supersteps must be >= 1");
+  }
   sim::SuperstepSimConfig config{
-      .compute_seconds =
-          [&scenario, supersteps](int n) {
-            return scenario.ComputeSeconds(n) / supersteps;
-          },
-      .comm_seconds =
-          [&scenario, supersteps](int n) {
-            return scenario.CommSeconds(n) / supersteps;
-          },
+      .compute_seconds = [&times,
+                          supersteps](int n) { return times.compute_s(n) / supersteps; },
+      .comm_seconds = [&times,
+                       supersteps](int n) { return times.comm_s(n) / supersteps; },
       .message_bits = scenario.comm_params().GetOr("bits", 0.0),
       .overhead = options.overhead,
       .supersteps = options.sim_supersteps};
 
-  Pcg32 rng(options.sim_seed);
+  // One independently seeded generator per node count: the point at n is the
+  // same whether the curve is evaluated front to back, in parallel, or as
+  // part of a longer curve. A single generator threaded through the loop
+  // would make every point depend on its predecessors' draw counts.
+  std::vector<double> seconds(nodes.size(), 0.0);
+  std::vector<Status> statuses(nodes.size());
+  auto simulate_point = [&config, &options, &nodes, &seconds,
+                         &statuses](size_t i) {
+    int n = nodes[i];
+    Pcg32 rng(DeriveSeed(options.sim_seed, static_cast<uint64_t>(n)),
+              static_cast<uint64_t>(n));
+    auto t = sim::SimulateGenericSuperstep(config, n, &rng);
+    if (t.ok()) {
+      seconds[i] = t.value();
+    } else {
+      statuses[i] = t.status();
+    }
+  };
+  if (options.threads > 1) {
+    ThreadPool pool(static_cast<size_t>(options.threads));
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      pool.Submit([&simulate_point, i] { simulate_point(i); });
+    }
+    pool.WaitIdle();
+  } else {
+    for (size_t i = 0; i < nodes.size(); ++i) simulate_point(i);
+  }
+  // Report the first failure in node order, so the surfaced error is also
+  // independent of scheduling.
+  for (const Status& status : statuses) DMLSCALE_RETURN_NOT_OK(status);
+
   core::SpeedupCurve curve;
   curve.reference_n = options.reference_n;
-  std::vector<double> seconds;
-  seconds.reserve(nodes.size());
   double reference = 0.0;
   for (size_t i = 0; i < nodes.size(); ++i) {
-    DMLSCALE_ASSIGN_OR_RETURN(
-        double t, sim::SimulateGenericSuperstep(config, nodes[i], &rng));
-    seconds.push_back(t * supersteps);
-    if (nodes[i] == options.reference_n) reference = seconds.back();
+    seconds[i] *= supersteps;
+    if (nodes[i] == options.reference_n) reference = seconds[i];
   }
   if (reference <= 0.0) {
     return Status::Internal(
@@ -77,13 +137,26 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
   if (options.reference_n < 1 || options.reference_n > max_nodes) {
     return Status::InvalidArgument("reference_n must be in [1, max_nodes]");
   }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (options.eval_cache != nullptr && scenario.name().empty()) {
+    // Cache keys embed the scenario name; unnamed scenarios sharing a cache
+    // would silently reuse each other's times.
+    return Status::InvalidArgument(
+        "eval_cache requires a named scenario (keys embed the name)");
+  }
+
+  ScenarioTimes times = MakeTimes(scenario, options.eval_cache);
+  core::FunctionModel model([&times](int n) { return times.Seconds(n); },
+                            scenario.name());
 
   AnalysisReport report;
   report.scenario_name = scenario.name();
   DMLSCALE_ASSIGN_OR_RETURN(
-      report.curve, core::SpeedupAnalyzer::Compute(scenario, max_nodes,
+      report.curve, core::SpeedupAnalyzer::Compute(model, max_nodes,
                                                    options.reference_n));
-  report.reference_seconds = scenario.Seconds(options.reference_n);
+  report.reference_seconds = times.Seconds(options.reference_n);
   report.optimal_nodes = report.curve.OptimalNodes();
   report.first_local_peak = report.curve.FirstLocalPeak();
   report.peak_speedup = report.curve.PeakSpeedup();
@@ -95,8 +168,8 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
     }
     // Growth scales the data-dependent computation term; the communication
     // payload is the model, which does not grow with the input.
-    core::ScalableTimeFn time_fn = [&scenario](int n, double data_scale) {
-      return data_scale * scenario.ComputeSeconds(n) + scenario.CommSeconds(n);
+    core::ScalableTimeFn time_fn = [&times](int n, double data_scale) {
+      return data_scale * times.compute_s(n) + times.comm_s(n);
     };
     core::CapacityPlanner planner(time_fn, max_nodes);
     if (options.target_speedup > 0.0) {
@@ -112,7 +185,7 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
   if (options.simulate) {
     DMLSCALE_ASSIGN_OR_RETURN(
         core::SpeedupCurve simulated,
-        SimulateCurve(scenario, options, report.curve.nodes));
+        SimulateCurve(scenario, times, options, report.curve.nodes));
     DMLSCALE_ASSIGN_OR_RETURN(core::ValidationReport delta,
                               core::CompareCurves(report.curve, simulated));
     report.simulated = std::move(simulated);
@@ -133,7 +206,7 @@ void PrintReport(const AnalysisReport& report, std::ostream& os) {
                                  FormatDouble(efficiency[i], 4)};
     if (report.simulated.has_value()) {
       auto s = report.simulated->At(report.curve.nodes[i]);
-      row.push_back(FormatDouble(s.ok() ? s.value() : -1.0, 4));
+      row.push_back(s.ok() ? FormatDouble(s.value(), 4) : "n/a");
     }
     table.AddRow(std::move(row));
   }

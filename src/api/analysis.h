@@ -7,6 +7,7 @@
 #include <string>
 
 #include "api/scenario.h"
+#include "common/memo_cache.h"
 #include "common/status.h"
 #include "core/speedup.h"
 #include "sim/overhead.h"
@@ -40,7 +41,24 @@ struct AnalysisOptions {
   sim::OverheadModel overhead;
   /// Supersteps averaged per simulated point.
   int sim_supersteps = 3;
+  /// Base seed of the simulation. Every node count draws from its own
+  /// generator seeded by DeriveSeed(sim_seed, n), so the simulated point at
+  /// `n` is a pure function of (scenario, options, n) — independent of
+  /// evaluation order, of max_nodes, and of `threads` below.
   uint64_t sim_seed = 42;
+
+  /// Worker threads for the per-n simulation fan-out (>= 1; 1 = inline).
+  /// Thanks to the per-n seeding the report is byte-identical for every
+  /// thread count. Analysis::Run spawns its own short-lived pool, so sweep
+  /// runners that already parallelize across cells should leave this at 1.
+  int threads = 1;
+
+  /// Optional shared memoization cache for the scenario's ComputeSeconds /
+  /// CommSeconds evaluations (not owned; nullptr = no caching). Keys embed
+  /// the scenario name — cells meant to share cached times share a name and
+  /// everything else sharing the cache MUST be named distinctly (mind the
+  /// builder's default name!); unnamed scenarios are rejected.
+  MemoCache* eval_cache = nullptr;
 };
 
 /// One capacity-planning answer; `achievable` is false when no node count

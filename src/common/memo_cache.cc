@@ -1,0 +1,47 @@
+#include "common/memo_cache.h"
+
+#include "common/check.h"
+
+namespace dmlscale {
+
+MemoCache::MemoCache(size_t num_shards) {
+  DMLSCALE_CHECK_GE(num_shards, 1u);
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+MemoCache::Shard& MemoCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+double MemoCache::GetOrCompute(const std::string& key,
+                               const std::function<double()>& compute) {
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.values.find(key);
+    if (it != shard.values.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  double value = compute();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // emplace keeps the first writer's value on a race; both are identical for
+  // the pure evaluations this cache is documented for.
+  return shard.values.emplace(key, value).first->second;
+}
+
+size_t MemoCache::size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->values.size();
+  }
+  return total;
+}
+
+}  // namespace dmlscale

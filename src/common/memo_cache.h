@@ -1,0 +1,61 @@
+#ifndef DMLSCALE_COMMON_MEMO_CACHE_H_
+#define DMLSCALE_COMMON_MEMO_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace dmlscale {
+
+/// Thread-safe memoization cache for pure double-valued evaluations.
+///
+/// Sweeps evaluate the same scenario's `ComputeSeconds(n)` / `CommSeconds(n)`
+/// many times — once per analysis-options cell, again for the planner scan,
+/// again for the simulator's per-superstep terms. Those are pure functions of
+/// (model, n), so a shared cache keyed by a model-identity string turns the
+/// repeats into lookups. Sharded by key hash so concurrent sweep workers
+/// rarely contend on the same mutex.
+///
+/// The compute callback runs outside the shard lock; when two threads race on
+/// a cold key both may evaluate, and the first insert wins. That is safe
+/// precisely because entries must be pure: the value is the same whoever
+/// computes it, so cache behaviour can never change a sweep's results.
+class MemoCache {
+ public:
+  explicit MemoCache(size_t num_shards = 16);
+
+  MemoCache(const MemoCache&) = delete;
+  MemoCache& operator=(const MemoCache&) = delete;
+
+  /// Returns the cached value for `key`, computing and inserting it on miss.
+  double GetOrCompute(const std::string& key,
+                      const std::function<double()>& compute);
+
+  /// Number of distinct keys cached so far.
+  size_t size() const;
+
+  /// Lookup counters (approximate under concurrency, exact when quiescent).
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, double> values;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace dmlscale
+
+#endif  // DMLSCALE_COMMON_MEMO_CACHE_H_

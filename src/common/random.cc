@@ -6,6 +6,17 @@
 
 namespace dmlscale {
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index) {
+  return SplitMix64(base_seed + 0x9e3779b97f4a7c15ULL * index);
+}
+
 Pcg32::Pcg32(uint64_t seed, uint64_t stream) : state_(0), inc_((stream << 1u) | 1u) {
   NextUint32();
   state_ += seed;

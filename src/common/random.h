@@ -8,6 +8,18 @@
 
 namespace dmlscale {
 
+/// SplitMix64 finalizer (Steele, Lea, Flood 2014): a bijective avalanche mix
+/// of the input. Used to derive statistically independent seeds from a base
+/// seed plus an index, so sub-experiments (one per node count, one per sweep
+/// cell) can be evaluated in any order — or concurrently — and still draw
+/// exactly the sequences a serial run would.
+uint64_t SplitMix64(uint64_t x);
+
+/// The canonical derivation: seed for sub-experiment `index` under
+/// `base_seed`. Distinct indices land in distinct SplitMix64 streams
+/// (golden-ratio increment), so neighbouring indices are uncorrelated.
+uint64_t DeriveSeed(uint64_t base_seed, uint64_t index);
+
 /// Deterministic, seedable PCG32 random generator (O'Neill 2014).
 ///
 /// Used everywhere in the library instead of std::mt19937 so experiment

@@ -17,14 +17,20 @@ Result<int> CapacityPlanner::NodesToSpeedUp(int current_nodes,
   }
   if (factor <= 0.0) return Status::InvalidArgument("factor must be > 0");
   double target = time_fn_(current_nodes, 1.0) / factor;
-  return NodesForTargetTime(target);
+  // "How many MORE machines": never answer with a smaller cluster than the
+  // one already running, even when the curve is flat below current_nodes.
+  return NodesForTargetTime(target, current_nodes);
 }
 
-Result<int> CapacityPlanner::NodesForTargetTime(double target_seconds) const {
+Result<int> CapacityPlanner::NodesForTargetTime(double target_seconds,
+                                                int min_nodes) const {
   if (target_seconds <= 0.0) {
     return Status::InvalidArgument("target time must be > 0");
   }
-  for (int n = 1; n <= max_nodes_; ++n) {
+  if (min_nodes < 1 || min_nodes > max_nodes_) {
+    return Status::InvalidArgument("min_nodes out of range");
+  }
+  for (int n = min_nodes; n <= max_nodes_; ++n) {
     if (time_fn_(n, 1.0) <= target_seconds) return n;
   }
   return Status::NotFound("no node count within " +

@@ -18,13 +18,18 @@ class CapacityPlanner {
   /// search.
   CapacityPlanner(ScalableTimeFn time_fn, int max_nodes);
 
-  /// Question 1: smallest `n` whose time is <= `t(current_nodes) / factor`.
-  /// Fails with NotFound when no n within max_nodes achieves the target
-  /// (e.g. past the communication-bound peak).
+  /// Question 1: smallest `n >= current_nodes` whose time is
+  /// <= `t(current_nodes) / factor`. The question asks how many MORE
+  /// machines are needed, so the scan starts at `current_nodes` — on a curve
+  /// that is flat below the current size it answers `current_nodes`, never a
+  /// smaller cluster. Fails with NotFound when no n within max_nodes
+  /// achieves the target (e.g. past the communication-bound peak).
   Result<int> NodesToSpeedUp(int current_nodes, double factor) const;
 
-  /// Smallest `n` with `t(n) <= target_seconds`; NotFound when impossible.
-  Result<int> NodesForTargetTime(double target_seconds) const;
+  /// Smallest `n >= min_nodes` with `t(n) <= target_seconds`; NotFound when
+  /// impossible within max_nodes.
+  Result<int> NodesForTargetTime(double target_seconds,
+                                 int min_nodes = 1) const;
 
   /// Question 2: smallest `n` such that the time on the `growth`-times
   /// larger input is <= the current time on `current_nodes`. NotFound when

@@ -8,6 +8,9 @@ namespace dmlscale::core {
 
 int SpeedupCurve::OptimalNodes() const {
   DMLSCALE_CHECK(!nodes.empty());
+  // Positions found in speedup[] index into nodes[]; a partially filled
+  // curve must fail here, not read past the shorter vector.
+  DMLSCALE_CHECK_EQ(nodes.size(), speedup.size());
   size_t best = 0;
   for (size_t i = 1; i < speedup.size(); ++i) {
     if (speedup[i] > speedup[best]) best = i;
@@ -17,6 +20,7 @@ int SpeedupCurve::OptimalNodes() const {
 
 int SpeedupCurve::FirstLocalPeak() const {
   DMLSCALE_CHECK(!nodes.empty());
+  DMLSCALE_CHECK_EQ(nodes.size(), speedup.size());
   for (size_t i = 1; i + 1 < speedup.size(); ++i) {
     if (speedup[i] > speedup[i - 1] && speedup[i] > speedup[i + 1]) {
       return nodes[i];
@@ -36,6 +40,7 @@ bool SpeedupCurve::IsScalable() const {
 }
 
 std::vector<double> SpeedupCurve::Efficiency() const {
+  DMLSCALE_CHECK_EQ(nodes.size(), speedup.size());
   std::vector<double> eff(nodes.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
     eff[i] = speedup[i] * static_cast<double>(reference_n) /
@@ -45,6 +50,7 @@ std::vector<double> SpeedupCurve::Efficiency() const {
 }
 
 Result<double> SpeedupCurve::At(int n) const {
+  DMLSCALE_CHECK_EQ(nodes.size(), speedup.size());
   for (size_t i = 0; i < nodes.size(); ++i) {
     if (nodes[i] == n) return speedup[i];
   }

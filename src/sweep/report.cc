@@ -1,0 +1,134 @@
+#include "sweep/report.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/csv_writer.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace dmlscale::sweep {
+
+namespace {
+
+std::string PlannerCell(const std::optional<api::PlannerAnswer>& answer) {
+  if (!answer.has_value()) return "";
+  return answer->achievable ? std::to_string(answer->nodes) : "n/a";
+}
+
+std::string MapeCell(const api::AnalysisReport& report) {
+  if (!report.model_vs_sim_mape.has_value()) return "";
+  return FormatDouble(*report.model_vs_sim_mape, 3);
+}
+
+// Efficiency at the curve's optimum, via the curve's own definition so the
+// sweep emitters can never drift from core::SpeedupCurve::Efficiency().
+double PeakEfficiency(const api::AnalysisReport& report) {
+  std::vector<double> efficiency = report.curve.Efficiency();
+  for (size_t i = 0; i < report.curve.nodes.size(); ++i) {
+    if (report.curve.nodes[i] == report.optimal_nodes) return efficiency[i];
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+size_t SweepReport::num_ok() const {
+  return static_cast<size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const SweepCellResult& c) { return c.ok(); }));
+}
+
+bool SweepReport::any_simulated() const {
+  return std::any_of(cells.begin(), cells.end(), [](const SweepCellResult& c) {
+    return c.ok() && c.report.model_vs_sim_mape.has_value();
+  });
+}
+
+std::vector<size_t> SweepReport::RankByPeakSpeedup() const {
+  std::vector<size_t> ranked;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (cells[i].ok()) ranked.push_back(i);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [this](size_t a, size_t b) {
+    return cells[a].report.peak_speedup > cells[b].report.peak_speedup;
+  });
+  return ranked;
+}
+
+std::string SweepReport::ToCsv() const {
+  CsvWriter csv({"cell", "scenario", "hardware", "options", "status",
+                 "t_ref_s", "optimal_nodes", "first_local_peak",
+                 "peak_speedup", "peak_efficiency", "scalable", "q1_nodes",
+                 "q2_nodes", "mape_pct"});
+  for (const SweepCellResult& cell : cells) {
+    std::vector<std::string> row{std::to_string(cell.index),
+                                 cell.scenario_label, cell.hardware_label,
+                                 cell.options_label};
+    if (cell.ok()) {
+      const api::AnalysisReport& r = cell.report;
+      row.insert(row.end(),
+                 {"ok", FormatDouble(r.reference_seconds, 6),
+                  std::to_string(r.optimal_nodes),
+                  std::to_string(r.first_local_peak),
+                  FormatDouble(r.peak_speedup, 4),
+                  FormatDouble(PeakEfficiency(r), 4),
+                  r.scalable ? "yes" : "no", PlannerCell(r.speedup_answer),
+                  PlannerCell(r.growth_answer), MapeCell(r)});
+    } else {
+      row.insert(row.end(), {cell.status.ToString(), "", "", "", "", "", "",
+                             "", "", ""});
+    }
+    csv.AddRow(std::move(row));
+  }
+  return csv.ToString();
+}
+
+void SweepReport::PrintSummary(std::ostream& os, size_t top_k) const {
+  os << "== Sweep: " << cells.size() << " cells (" << num_ok() << " ok, "
+     << num_failed() << " failed) ==\n";
+
+  std::vector<std::string> headers{"rank",         "cell",
+                                   "configuration", "optimal_n",
+                                   "peak_speedup",  "peak_efficiency"};
+  bool with_mape = any_simulated();
+  if (with_mape) headers.push_back("mape_pct");
+  TablePrinter table(headers);
+  std::vector<size_t> ranked = RankByPeakSpeedup();
+  size_t shown = std::min(top_k, ranked.size());
+  for (size_t rank = 0; rank < shown; ++rank) {
+    const SweepCellResult& cell = cells[ranked[rank]];
+    const api::AnalysisReport& r = cell.report;
+    std::vector<std::string> row{
+        std::to_string(rank + 1),
+        std::to_string(cell.index),
+        cell.scenario_label + "/" + cell.hardware_label + "/" +
+            cell.options_label,
+        std::to_string(r.optimal_nodes),
+        FormatDouble(r.peak_speedup, 4),
+        FormatDouble(PeakEfficiency(r), 4)};
+    if (with_mape) {
+      std::string mape = MapeCell(r);
+      row.push_back(mape.empty() ? "n/a" : mape);
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(os);
+  if (ranked.size() > shown) {
+    os << "(top " << shown << " of " << ranked.size() << " ok cells)\n";
+  }
+
+  for (const SweepCellResult& cell : cells) {
+    if (!cell.ok()) {
+      os << "cell " << cell.index << " (" << cell.scenario_label << "/"
+         << cell.hardware_label << "/" << cell.options_label
+         << ") failed: " << cell.status << "\n";
+    }
+  }
+
+  uint64_t lookups = cache_hits + cache_misses;
+  os << "threads=" << threads << "; eval cache: " << cache_hits << "/"
+     << lookups << " hits; wall " << FormatDouble(wall_seconds, 3) << " s\n";
+}
+
+}  // namespace dmlscale::sweep

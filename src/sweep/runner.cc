@@ -1,0 +1,71 @@
+#include "sweep/runner.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/memo_cache.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+
+namespace dmlscale::sweep {
+
+SweepRunner::SweepRunner(SweepRunnerOptions options)
+    : options_(std::move(options)) {}
+
+Result<SweepReport> SweepRunner::Run(const SweepGrid& grid) const {
+  if (options_.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(std::vector<SweepCell> cells, grid.Cells());
+
+  Stopwatch stopwatch;
+  MemoCache cache;
+  SweepReport report;
+  report.threads = options_.threads;
+  report.cells.resize(cells.size());
+
+  // Each task writes only its own slot, so the collection needs no lock and
+  // the result vector is in grid order by construction.
+  auto run_cell = [this, &grid, &cache, &report](const SweepCell& cell) {
+    SweepCellResult& result = report.cells[cell.index];
+    result.index = cell.index;
+    result.scenario_label = grid.scenario_of(cell).label;
+    result.hardware_label = grid.hardware_of(cell).label;
+    result.options_label = grid.options_of(cell).label;
+
+    auto scenario = grid.BuildScenario(cell);
+    if (!scenario.ok()) {
+      result.status = scenario.status();
+      return;
+    }
+    api::AnalysisOptions options = grid.options_of(cell).options;
+    options.sim_seed =
+        DeriveSeed(options_.base_seed, static_cast<uint64_t>(cell.index));
+    options.threads = 1;
+    options.eval_cache = options_.use_eval_cache ? &cache : nullptr;
+    auto analysis = api::Analysis::Run(*scenario, options);
+    if (!analysis.ok()) {
+      result.status = analysis.status();
+      return;
+    }
+    result.report = std::move(analysis).value();
+  };
+
+  if (options_.threads > 1) {
+    ThreadPool pool(static_cast<size_t>(options_.threads));
+    for (const SweepCell& cell : cells) {
+      pool.Submit([&run_cell, cell] { run_cell(cell); });
+    }
+    pool.WaitIdle();
+  } else {
+    for (const SweepCell& cell : cells) run_cell(cell);
+  }
+
+  report.cache_hits = cache.hits();
+  report.cache_misses = cache.misses();
+  report.wall_seconds = stopwatch.ElapsedSeconds();
+  return report;
+}
+
+}  // namespace dmlscale::sweep

@@ -1,0 +1,14 @@
+#ifndef DMLSCALE_SWEEP_SWEEP_H_
+#define DMLSCALE_SWEEP_SWEEP_H_
+
+/// Umbrella header for the grid-sweep engine: declare a SweepGrid (cartesian
+/// product of scenario bags x hardware presets x analysis options), fan it
+/// out with SweepRunner, and emit the SweepReport as a ranking table or CSV.
+/// See src/sweep/README.md for a worked example.
+
+#include "api/api.h"       // IWYU pragma: export
+#include "sweep/grid.h"    // IWYU pragma: export
+#include "sweep/report.h"  // IWYU pragma: export
+#include "sweep/runner.h"  // IWYU pragma: export
+
+#endif  // DMLSCALE_SWEEP_SWEEP_H_

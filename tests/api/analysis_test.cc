@@ -139,6 +139,152 @@ TEST(AnalysisTest, InvalidOptionsFail) {
   EXPECT_FALSE(Analysis::Run(*scenario, bad_current).ok());
 }
 
+TEST(AnalysisTest, SimulatedPointsAreOrderIndependent) {
+  // Regression for the single-Pcg32-threaded-through-the-loop bug: the
+  // simulated sample at n must not depend on which other node counts were
+  // evaluated before it. Extending max_nodes (more points after AND the
+  // reference drawn at a different loop position) must leave the shared
+  // points bit-identical.
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  options.overhead.straggler_sigma = 0.2;  // make the draws matter
+  options.max_nodes = 8;
+  auto small = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(small.ok());
+  options.max_nodes = 24;
+  auto large = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(large.ok());
+
+  for (int n = 1; n <= 8; ++n) {
+    EXPECT_EQ(small->simulated->At(n).value(), large->simulated->At(n).value())
+        << "n=" << n;
+  }
+}
+
+TEST(AnalysisTest, SimulationIsByteIdenticalAcrossThreadCounts) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  options.target_speedup = 3.0;
+  options.overhead = sim::OverheadModel::SparkLike();
+  options.threads = 1;
+  auto serial = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(serial.ok());
+  options.threads = 8;
+  auto parallel = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(parallel.ok());
+
+  // Exact equality, not near: per-n seed derivation means the schedule
+  // cannot leak into any sample.
+  EXPECT_EQ(serial->simulated->speedup, parallel->simulated->speedup);
+  EXPECT_EQ(*serial->model_vs_sim_mape, *parallel->model_vs_sim_mape);
+
+  std::ostringstream a, b;
+  PrintReport(*serial, a);
+  PrintReport(*parallel, b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(AnalysisTest, SimSeedSelectsTheDrawSequence) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  options.overhead.straggler_sigma = 0.2;
+  auto a = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(a.ok());
+  options.sim_seed = 43;
+  auto b = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->simulated->speedup, b->simulated->speedup);
+}
+
+TEST(AnalysisTest, SharedEvalCacheDoesNotChangeResults) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+
+  AnalysisOptions options;
+  options.simulate = true;
+  options.target_speedup = 3.0;
+  options.workload_growth = 2.0;
+  auto uncached = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(uncached.ok());
+
+  MemoCache cache;
+  options.eval_cache = &cache;
+  auto cached = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(cached.ok());
+  // The planner and the simulator revisit node counts the curve already
+  // evaluated, so the cache must have been exercised...
+  EXPECT_GT(cache.hits(), 0u);
+  // ...without perturbing a single value.
+  EXPECT_EQ(uncached->curve.speedup, cached->curve.speedup);
+  EXPECT_EQ(uncached->simulated->speedup, cached->simulated->speedup);
+  EXPECT_EQ(uncached->speedup_answer->nodes, cached->speedup_answer->nodes);
+  EXPECT_EQ(uncached->growth_answer->nodes, cached->growth_answer->nodes);
+
+  // A second run against the warm cache computes nothing new.
+  uint64_t misses_before = cache.misses();
+  auto warm = Analysis::Run(*scenario, options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(cache.misses(), misses_before);
+}
+
+TEST(AnalysisTest, EvalCacheRequiresANamedScenario) {
+  // Cache keys embed the scenario name; an empty name would collide with
+  // every other unnamed scenario sharing the cache.
+  auto scenario = Scenario::Builder()
+                      .Name("")
+                      .Hardware(presets::Fig1Cluster(10))
+                      .Compute("perfectly-parallel", {{"total_flops", 1e9}})
+                      .Comm("linear", {{"bits", 1e9}})
+                      .Build();
+  ASSERT_TRUE(scenario.ok());
+  MemoCache cache;
+  AnalysisOptions options;
+  options.eval_cache = &cache;
+  EXPECT_EQ(Analysis::Run(*scenario, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.eval_cache = nullptr;
+  EXPECT_TRUE(Analysis::Run(*scenario, options).ok());
+}
+
+TEST(AnalysisTest, RejectsBadThreadCount) {
+  auto scenario = Fig1Scenario();
+  ASSERT_TRUE(scenario.ok());
+  AnalysisOptions options;
+  options.threads = 0;
+  EXPECT_EQ(Analysis::Run(*scenario, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AnalysisTest, PrintReportWritesNaForMissingSimulatedSamples) {
+  // A hand-assembled report whose simulated series misses n=2 (e.g. a
+  // measured-data import): the cell must read "n/a", not "-1.0000".
+  AnalysisReport report;
+  report.scenario_name = "partial";
+  report.curve.nodes = {1, 2};
+  report.curve.speedup = {1.0, 1.8};
+  report.optimal_nodes = 2;
+  report.first_local_peak = 2;
+  report.peak_speedup = 1.8;
+  core::SpeedupCurve simulated;
+  simulated.nodes = {1};
+  simulated.speedup = {1.0};
+  report.simulated = simulated;
+
+  std::ostringstream os;
+  PrintReport(report, os);
+  EXPECT_NE(os.str().find("n/a"), std::string::npos);
+  EXPECT_EQ(os.str().find("-1.0000"), std::string::npos);
+}
+
 TEST(AnalysisTest, PrintReportRendersTableAndAnswers) {
   auto scenario = Fig1Scenario();
   ASSERT_TRUE(scenario.ok());

@@ -147,6 +147,19 @@ TEST(ScenarioBuilderTest, InvalidCountsFail) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ScenarioBuilderTest, NonPositiveSuperstepsNeverReachTheSimulator) {
+  // SimulateCurve divides per-superstep times by supersteps; a scenario
+  // with 0 (or negative) supersteps would turn every simulated point into
+  // inf/NaN, so Build() must refuse it up front with a named error.
+  for (int supersteps : {0, -1, -100}) {
+    auto scenario = Fig1Builder().Supersteps(supersteps).Build();
+    ASSERT_FALSE(scenario.ok()) << "supersteps=" << supersteps;
+    EXPECT_EQ(scenario.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(scenario.status().message().find("supersteps"),
+              std::string::npos);
+  }
+}
+
 TEST(ScenarioBuilderTest, BottleneckEscapeHatch) {
   // max_share(n) = 100e9 / n * 1.25 (a 25% imbalance): tcp on the 1 GFLOP/s
   // node is 125/n seconds.

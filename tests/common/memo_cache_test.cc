@@ -1,0 +1,71 @@
+#include "common/memo_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dmlscale {
+namespace {
+
+TEST(MemoCacheTest, ComputesOnceThenHits) {
+  MemoCache cache;
+  int calls = 0;
+  auto compute = [&calls] {
+    ++calls;
+    return 42.0;
+  };
+  EXPECT_EQ(cache.GetOrCompute("k", compute), 42.0);
+  EXPECT_EQ(cache.GetOrCompute("k", compute), 42.0);
+  EXPECT_EQ(cache.GetOrCompute("k", compute), 42.0);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(MemoCacheTest, DistinctKeysAreDistinctEntries) {
+  MemoCache cache(4);
+  for (int i = 0; i < 100; ++i) {
+    double v = cache.GetOrCompute("key-" + std::to_string(i),
+                                  [i] { return static_cast<double>(i); });
+    EXPECT_EQ(v, static_cast<double>(i));
+  }
+  EXPECT_EQ(cache.size(), 100u);
+  EXPECT_EQ(cache.misses(), 100u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(MemoCacheTest, ConcurrentLookupsAgreeOnValues) {
+  MemoCache cache;
+  const int kThreads = 8;
+  const int kKeys = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &mismatches] {
+      for (int round = 0; round < 20; ++round) {
+        for (int k = 0; k < kKeys; ++k) {
+          double v = cache.GetOrCompute(
+              "key-" + std::to_string(k),
+              [k] { return static_cast<double>(k) * 3.0; });
+          if (v != static_cast<double>(k) * 3.0) mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(cache.size(), static_cast<size_t>(kKeys));
+  // Racing threads may each compute a cold key, but far fewer times than
+  // the total lookup count — everything else must be hits.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<uint64_t>(kThreads * 20 * kKeys));
+  EXPECT_GE(cache.hits(), static_cast<uint64_t>((kThreads * 20 - kThreads) *
+                                                kKeys));
+}
+
+}  // namespace
+}  // namespace dmlscale

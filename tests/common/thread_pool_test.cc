@@ -50,6 +50,47 @@ TEST(ThreadPoolTest, ManyWaitCycles) {
   }
 }
 
+TEST(ThreadPoolTest, WaitIdleSeesTasksSubmittedByRunningTasks) {
+  // The sweep runner's shape: worker tasks that enqueue more work while
+  // WaitIdle() is already blocking. A full binary tree of depth 8 spawned
+  // from inside the pool must be completely drained by one WaitIdle().
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::function<void(int)> spawn = [&](int depth) {
+    counter.fetch_add(1);
+    if (depth == 0) return;
+    pool.Submit([&spawn, depth] { spawn(depth - 1); });
+    pool.Submit([&spawn, depth] { spawn(depth - 1); });
+  };
+  pool.Submit([&spawn] { spawn(8); });
+  pool.WaitIdle();
+  // Nodes of a binary tree of depth 8: 2^9 - 1.
+  EXPECT_EQ(counter.load(), 511);
+}
+
+TEST(ThreadPoolTest, RepeatedWaitIdleUnderTaskChains) {
+  // Chains of tasks each submitting their successor, raced against
+  // WaitIdle() over many rounds: WaitIdle must never return while a chain
+  // still has pending links.
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> remaining{0};
+    std::function<void(int)> chain = [&](int links) {
+      if (links == 0) return;
+      remaining.fetch_sub(1);
+      pool.Submit([&chain, links] { chain(links - 1); });
+    };
+    const int kChains = 6;
+    const int kLinks = 20;
+    remaining.store(kChains * kLinks);
+    for (int c = 0; c < kChains; ++c) {
+      pool.Submit([&chain] { chain(kLinks); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(remaining.load(), 0) << "round " << round;
+  }
+}
+
 TEST(ThreadPoolTest, SingleThreadPoolSerializes) {
   ThreadPool pool(1);
   std::vector<int> order;

@@ -67,6 +67,53 @@ TEST(CapacityPlannerTest, RejectsBadArguments) {
   EXPECT_FALSE(planner.NodesForWorkloadGrowth(1, 0.0).ok());
 }
 
+TEST(CapacityPlannerTest, Q1NeverAnswersWithFewerThanCurrentNodes) {
+  // Flat below current_nodes, decreasing after: t(n) = 10 for n <= 6,
+  // then 10 * 6 / n. A scan from n = 1 would "achieve" the unchanged
+  // target at n = 1 and tell the user to shrink the cluster.
+  auto flat_then_down = [](int n, double d) {
+    return n <= 6 ? 10.0 * d : 10.0 * d * 6.0 / n;
+  };
+  CapacityPlanner planner(flat_then_down, 64);
+
+  // Factor 1: the current cluster already runs at the target time.
+  auto same = planner.NodesToSpeedUp(6, 1.0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same.value(), 6);
+
+  // Factor 2 from inside the flat region: the answer must lie beyond it
+  // (t(n) <= 5 first at n = 12), never at a node count below current.
+  auto twice = planner.NodesToSpeedUp(4, 2.0);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice.value(), 12);
+  EXPECT_GE(twice.value(), 4);
+}
+
+TEST(CapacityPlannerTest, Q1OnACompletelyFlatCurveKeepsCurrentNodes) {
+  CapacityPlanner planner([](int, double d) { return 7.0 * d; }, 32);
+  auto n = planner.NodesToSpeedUp(20, 1.0);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n.value(), 20);  // the historical bug answered 1 here
+  // No speedup is ever available on a flat curve.
+  EXPECT_EQ(planner.NodesToSpeedUp(20, 1.5).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CapacityPlannerTest, NodesForTargetTimeHonoursMinNodes) {
+  CapacityPlanner planner(Time, 64);
+  // Unconstrained, the 2-second target is reached at small n already...
+  auto unconstrained = planner.NodesForTargetTime(2.0);
+  ASSERT_TRUE(unconstrained.ok());
+  // ...and a min_nodes above it pushes the answer to min_nodes itself
+  // (t is still below target there).
+  auto constrained = planner.NodesForTargetTime(2.0, 9);
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_GT(9, unconstrained.value());
+  EXPECT_EQ(constrained.value(), 9);
+  EXPECT_FALSE(planner.NodesForTargetTime(2.0, 0).ok());
+  EXPECT_FALSE(planner.NodesForTargetTime(2.0, 65).ok());
+}
+
 TEST(CapacityPlannerTest, GrowthOfOneIsCurrentNodes) {
   CapacityPlanner planner(Time, 16);
   auto n = planner.NodesForWorkloadGrowth(5, 1.0);

@@ -102,6 +102,19 @@ TEST(SpeedupCurveTest, AtReportsNotFoundForMissingN) {
 }
 
 // Property: s(reference_n) == 1 always.
+TEST(SpeedupCurveDeathTest, MismatchedSizesAreAProgrammingError) {
+  // speedup[] positions index into nodes[]; a hand-built curve whose
+  // vectors drifted apart must abort loudly instead of reading out of
+  // bounds (or silently returning a wrong node count).
+  SpeedupCurve curve;
+  curve.nodes = {1, 2, 3};
+  curve.speedup = {1.0, 1.5};
+  EXPECT_DEATH(curve.OptimalNodes(), "check failed");
+  EXPECT_DEATH(curve.FirstLocalPeak(), "check failed");
+  EXPECT_DEATH(curve.Efficiency(), "check failed");
+  EXPECT_DEATH(curve.At(2), "check failed");
+}
+
 class ReferencePointTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(ReferencePointTest, SpeedupAtReferenceIsOne) {

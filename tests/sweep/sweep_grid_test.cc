@@ -1,0 +1,154 @@
+#include "sweep/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "api/presets.h"
+
+namespace dmlscale::sweep {
+namespace {
+
+ScenarioAxisPoint Fig1Point(const std::string& label = "fig1") {
+  return ScenarioAxisPoint{.label = label,
+                           .compute_model = "perfectly-parallel",
+                           .compute_params = {{"total_flops", 196.0e9}},
+                           .comm_model = "linear",
+                           .comm_params = {{"bits", 1e9}},
+                           .supersteps = 1};
+}
+
+HardwareAxisPoint Fig1Hardware(const std::string& label = "fig1-cluster") {
+  return HardwareAxisPoint{.label = label,
+                           .cluster = api::presets::Fig1Cluster(30)};
+}
+
+TEST(SweepGridTest, SizeIsCartesianProduct) {
+  SweepGrid grid;
+  grid.AddScenario(Fig1Point("a")).AddScenario(Fig1Point("b"));
+  grid.AddHardware(Fig1Hardware("h1"))
+      .AddHardware(Fig1Hardware("h2"))
+      .AddHardware(Fig1Hardware("h3"));
+  grid.AddOptions({.label = "o1", .options = {}})
+      .AddOptions({.label = "o2", .options = {}});
+  EXPECT_EQ(grid.size(), 12u);
+
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  EXPECT_EQ(cells->size(), 12u);
+}
+
+TEST(SweepGridTest, CellsAreRowMajorAndIndexed) {
+  SweepGrid grid;
+  grid.AddScenario(Fig1Point("a")).AddScenario(Fig1Point("b"));
+  grid.AddHardware(Fig1Hardware("h1")).AddHardware(Fig1Hardware("h2"));
+  grid.AddOptions({.label = "o1", .options = {}})
+      .AddOptions({.label = "o2", .options = {}});
+
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  // Scenario-major, options-minor.
+  EXPECT_EQ(grid.LabelOf((*cells)[0]), "a/h1/o1");
+  EXPECT_EQ(grid.LabelOf((*cells)[1]), "a/h1/o2");
+  EXPECT_EQ(grid.LabelOf((*cells)[2]), "a/h2/o1");
+  EXPECT_EQ(grid.LabelOf((*cells)[4]), "b/h1/o1");
+  EXPECT_EQ(grid.LabelOf((*cells)[7]), "b/h2/o2");
+  for (size_t i = 0; i < cells->size(); ++i) {
+    EXPECT_EQ((*cells)[i].index, i);
+  }
+}
+
+TEST(SweepGridTest, EmptyOptionsAxisDefaultsToSingleton) {
+  SweepGrid grid;
+  grid.AddScenario(Fig1Point());
+  grid.AddHardware(Fig1Hardware());
+  EXPECT_EQ(grid.size(), 1u);
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 1u);
+  EXPECT_EQ(grid.options_of((*cells)[0]).label, "default");
+}
+
+TEST(SweepGridTest, EmptyMandatoryAxesFail) {
+  SweepGrid no_scenario;
+  no_scenario.AddHardware(Fig1Hardware());
+  EXPECT_EQ(no_scenario.Cells().status().code(),
+            StatusCode::kFailedPrecondition);
+
+  SweepGrid no_hardware;
+  no_hardware.AddScenario(Fig1Point());
+  EXPECT_EQ(no_hardware.Cells().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SweepGridTest, ReservedCharactersInLabelsFail) {
+  // '@' and '|' are the eval-cache key separators: "a" x "x@y" and
+  // "a@x" x "y" would otherwise share the key prefix "a@x@y" and poison
+  // each other's cached times.
+  for (std::string label : {"a@x", "a|cp|1", ""}) {
+    SweepGrid grid;
+    grid.AddScenario(Fig1Point(label));
+    grid.AddHardware(Fig1Hardware());
+    EXPECT_EQ(grid.Cells().status().code(), StatusCode::kInvalidArgument)
+        << "label '" << label << "'";
+  }
+}
+
+TEST(SweepGridTest, DuplicateAxisLabelsFail) {
+  SweepGrid grid;
+  grid.AddScenario(Fig1Point("dup")).AddScenario(Fig1Point("dup"));
+  grid.AddHardware(Fig1Hardware());
+  auto cells = grid.Cells();
+  EXPECT_EQ(cells.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(cells.status().message().find("dup"), std::string::npos);
+}
+
+TEST(SweepGridTest, BuildScenarioResolvesThroughRegistries) {
+  SweepGrid grid;
+  grid.AddScenario(Fig1Point());
+  grid.AddHardware(Fig1Hardware());
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+
+  auto scenario = grid.BuildScenario((*cells)[0]);
+  ASSERT_TRUE(scenario.ok());
+  // The name embeds scenario and hardware labels (it is the cache key base).
+  EXPECT_EQ(scenario->name(), "fig1@fig1-cluster");
+  // Fig. 1: t(1) = 196 s, and the famous 14-node optimum.
+  EXPECT_DOUBLE_EQ(scenario->Seconds(1), 196.0);
+  auto curve = scenario->Speedup();
+  ASSERT_TRUE(curve.ok());
+  EXPECT_EQ(curve->OptimalNodes(), 14);
+}
+
+TEST(SweepGridTest, BuildScenarioSurfacesRegistryErrors) {
+  ScenarioAxisPoint bad = Fig1Point("typo");
+  bad.comm_model = "treee";
+  SweepGrid grid;
+  grid.AddScenario(bad);
+  grid.AddHardware(Fig1Hardware());
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  auto scenario = grid.BuildScenario((*cells)[0]);
+  EXPECT_FALSE(scenario.ok());
+  // The miss lists the registered menu.
+  EXPECT_NE(scenario.status().message().find("registered models"),
+            std::string::npos);
+}
+
+TEST(SweepGridTest, SharedMemoryHardwareNeedsNoCommModel) {
+  ScenarioAxisPoint shared;
+  shared.label = "bp";
+  shared.compute_model = "perfectly-parallel";
+  shared.compute_params = {{"total_flops", 1e9}};
+  SweepGrid grid;
+  grid.AddScenario(shared);
+  grid.AddHardware({.label = "dl980",
+                    .cluster = core::presets::SharedMemoryServer(80)});
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  auto scenario = grid.BuildScenario((*cells)[0]);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->comm_name(), "shared-memory");
+}
+
+}  // namespace
+}  // namespace dmlscale::sweep
