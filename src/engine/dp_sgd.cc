@@ -66,20 +66,12 @@ Result<DpSgdIterationResult> DataParallelSgd::TrainIteration(
   master_->ZeroGradients();
   DpSgdIterationResult result;
   result.gradient_seconds = gradient_seconds;
-  auto master_grads = master_->Gradients();
   for (int w = 0; w < workers; ++w) {
     double weight = shard_weight[static_cast<size_t>(w)] /
                     static_cast<double>(examples);
     if (weight == 0.0) continue;
-    auto replica_grads = replicas_[static_cast<size_t>(w)].Gradients();
-    if (replica_grads.size() != master_grads.size()) {
-      return Status::Internal("replica gradient arity mismatch");
-    }
-    for (size_t g = 0; g < master_grads.size(); ++g) {
-      nn::Tensor scaled = *replica_grads[g];
-      scaled.Scale(weight);
-      DMLSCALE_RETURN_NOT_OK(master_grads[g]->AddInPlace(scaled));
-    }
+    DMLSCALE_RETURN_NOT_OK(master_->AccumulateScaledGradientsFrom(
+        replicas_[static_cast<size_t>(w)], weight));
     result.loss += shard_loss[static_cast<size_t>(w)] * weight;
   }
 

@@ -1,5 +1,7 @@
 #include "engine/parallel_for.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace dmlscale::engine {
@@ -27,6 +29,23 @@ void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int num_shards,
     pool->Submit([&body, s, range] { body(s, range.begin, range.end); });
   }
   pool->WaitIdle();
+}
+
+int NumShardsForRange(int64_t begin, int64_t end,
+                      const ParallelForOptions& options) {
+  DMLSCALE_CHECK_GE(end, begin);
+  DMLSCALE_CHECK_GE(options.max_shards, 1);
+  DMLSCALE_CHECK_GE(options.min_grain, 1);
+  int64_t shards = (end - begin) / options.min_grain;
+  shards = std::max<int64_t>(shards, 1);
+  shards = std::min<int64_t>(shards, options.max_shards);
+  return static_cast<int>(shards);
+}
+
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const ParallelForOptions& options,
+                 const std::function<void(int, int64_t, int64_t)>& body) {
+  ParallelFor(pool, begin, end, NumShardsForRange(begin, end, options), body);
 }
 
 }  // namespace dmlscale::engine

@@ -16,6 +16,29 @@ namespace dmlscale::engine {
 void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end, int num_shards,
                  const std::function<void(int, int64_t, int64_t)>& body);
 
+/// Grain-size control for ParallelFor: cap the shard count so each shard
+/// processes at least `min_grain` elements — tiny shards cost more in
+/// queueing than they save in parallelism.
+struct ParallelForOptions {
+  /// Upper bound on shards (typically the pool's thread count).
+  int max_shards = 1;
+  /// Minimum elements per shard (>= 1).
+  int64_t min_grain = 1;
+};
+
+/// Number of shards ParallelFor(pool, begin, end, options, body) would use:
+/// clamp((end - begin) / min_grain, 1, max_shards). Exposed so callers with
+/// determinism contracts tied to shard boundaries can precompute them.
+int NumShardsForRange(int64_t begin, int64_t end,
+                      const ParallelForOptions& options);
+
+/// ParallelFor with grain-size control: shards [begin, end) into
+/// NumShardsForRange(...) ranges. With max_shards == 1 (or a range shorter
+/// than 2 * min_grain) the body runs as a single shard.
+void ParallelFor(ThreadPool* pool, int64_t begin, int64_t end,
+                 const ParallelForOptions& options,
+                 const std::function<void(int, int64_t, int64_t)>& body);
+
 /// Shard boundaries used by ParallelFor; exposed for tests and for
 /// workload accounting.
 struct ShardRange {

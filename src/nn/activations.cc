@@ -1,121 +1,141 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dmlscale::nn {
 
-Result<Tensor> SigmoidLayer::Forward(const Tensor& input) {
-  Tensor output = input;
-  for (int64_t i = 0; i < output.size(); ++i) {
-    output[i] = 1.0 / (1.0 + std::exp(-output[i]));
+Status SigmoidLayer::ForwardInto(const Tensor& input, Tensor* output) {
+  output->ResizeTo(input.shape());
+  const double* in = input.data();
+  double* out = output->data();
+  for (int64_t i = 0; i < input.size(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-in[i]));
   }
-  last_output_ = output;
-  return output;
+  last_output_.CopyFrom(*output);
+  return Status::OK();
 }
 
-Result<Tensor> SigmoidLayer::Backward(const Tensor& grad_output) {
+Status SigmoidLayer::BackwardInto(const Tensor& grad_output,
+                                  Tensor* grad_input) {
   if (!grad_output.SameShape(last_output_)) {
     return Status::InvalidArgument("sigmoid: grad shape mismatch");
   }
-  Tensor grad_input = grad_output;
-  for (int64_t i = 0; i < grad_input.size(); ++i) {
-    double y = last_output_[i];
-    grad_input[i] *= y * (1.0 - y);
+  grad_input->ResizeTo(grad_output.shape());
+  const double* go = grad_output.data();
+  const double* y = last_output_.data();
+  double* gi = grad_input->data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = go[i] * y[i] * (1.0 - y[i]);
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> SigmoidLayer::Clone() const {
   return std::make_unique<SigmoidLayer>();
 }
 
-Result<Tensor> ReluLayer::Forward(const Tensor& input) {
-  last_input_ = input;
-  Tensor output = input;
-  for (int64_t i = 0; i < output.size(); ++i) {
-    if (output[i] < 0.0) output[i] = 0.0;
+Status ReluLayer::ForwardInto(const Tensor& input, Tensor* output) {
+  last_input_.CopyFrom(input);
+  output->ResizeTo(input.shape());
+  const double* in = input.data();
+  double* out = output->data();
+  for (int64_t i = 0; i < input.size(); ++i) {
+    double x = in[i];
+    out[i] = x > 0.0 ? x : 0.0;  // compiles to a select, not a branch
   }
-  return output;
+  return Status::OK();
 }
 
-Result<Tensor> ReluLayer::Backward(const Tensor& grad_output) {
+Status ReluLayer::BackwardInto(const Tensor& grad_output,
+                               Tensor* grad_input) {
   if (!grad_output.SameShape(last_input_)) {
     return Status::InvalidArgument("relu: grad shape mismatch");
   }
-  Tensor grad_input = grad_output;
-  for (int64_t i = 0; i < grad_input.size(); ++i) {
-    if (last_input_[i] <= 0.0) grad_input[i] = 0.0;
+  grad_input->ResizeTo(grad_output.shape());
+  const double* go = grad_output.data();
+  const double* x = last_input_.data();
+  double* gi = grad_input->data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = x[i] > 0.0 ? go[i] : 0.0;
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> ReluLayer::Clone() const {
   return std::make_unique<ReluLayer>();
 }
 
-Result<Tensor> TanhLayer::Forward(const Tensor& input) {
-  Tensor output = input;
-  for (int64_t i = 0; i < output.size(); ++i) output[i] = std::tanh(output[i]);
-  last_output_ = output;
-  return output;
+Status TanhLayer::ForwardInto(const Tensor& input, Tensor* output) {
+  output->ResizeTo(input.shape());
+  const double* in = input.data();
+  double* out = output->data();
+  for (int64_t i = 0; i < input.size(); ++i) out[i] = std::tanh(in[i]);
+  last_output_.CopyFrom(*output);
+  return Status::OK();
 }
 
-Result<Tensor> TanhLayer::Backward(const Tensor& grad_output) {
+Status TanhLayer::BackwardInto(const Tensor& grad_output,
+                               Tensor* grad_input) {
   if (!grad_output.SameShape(last_output_)) {
     return Status::InvalidArgument("tanh: grad shape mismatch");
   }
-  Tensor grad_input = grad_output;
-  for (int64_t i = 0; i < grad_input.size(); ++i) {
-    double y = last_output_[i];
-    grad_input[i] *= 1.0 - y * y;
+  grad_input->ResizeTo(grad_output.shape());
+  const double* go = grad_output.data();
+  const double* y = last_output_.data();
+  double* gi = grad_input->data();
+  for (int64_t i = 0; i < grad_output.size(); ++i) {
+    gi[i] = go[i] * (1.0 - y[i] * y[i]);
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> TanhLayer::Clone() const {
   return std::make_unique<TanhLayer>();
 }
 
-Result<Tensor> SoftmaxLayer::Forward(const Tensor& input) {
+Status SoftmaxLayer::ForwardInto(const Tensor& input, Tensor* output) {
   if (input.rank() != 2) {
     return Status::InvalidArgument("softmax: expected rank-2 input");
   }
-  Tensor output = input;
+  output->ResizeTo(input.shape());
   int64_t batch = input.dim(0);
   int64_t classes = input.dim(1);
   for (int64_t b = 0; b < batch; ++b) {
-    double* row = output.data() + b * classes;
-    double max_logit = row[0];
+    const double* in_row = input.data() + b * classes;
+    double* row = output->data() + b * classes;
+    double max_logit = in_row[0];
     for (int64_t c = 1; c < classes; ++c) {
-      max_logit = std::max(max_logit, row[c]);
+      max_logit = std::max(max_logit, in_row[c]);
     }
     double sum = 0.0;
     for (int64_t c = 0; c < classes; ++c) {
-      row[c] = std::exp(row[c] - max_logit);
+      row[c] = std::exp(in_row[c] - max_logit);
       sum += row[c];
     }
     for (int64_t c = 0; c < classes; ++c) row[c] /= sum;
   }
-  last_output_ = output;
-  return output;
+  last_output_.CopyFrom(*output);
+  return Status::OK();
 }
 
-Result<Tensor> SoftmaxLayer::Backward(const Tensor& grad_output) {
+Status SoftmaxLayer::BackwardInto(const Tensor& grad_output,
+                                  Tensor* grad_input) {
   if (!grad_output.SameShape(last_output_)) {
     return Status::InvalidArgument("softmax: grad shape mismatch");
   }
   int64_t batch = last_output_.dim(0);
   int64_t classes = last_output_.dim(1);
-  Tensor grad_input({batch, classes});
+  grad_input->ResizeTo({batch, classes});
   for (int64_t b = 0; b < batch; ++b) {
     const double* y = last_output_.data() + b * classes;
     const double* go = grad_output.data() + b * classes;
     double dot = 0.0;
     for (int64_t c = 0; c < classes; ++c) dot += y[c] * go[c];
-    double* gi = grad_input.data() + b * classes;
+    double* gi = grad_input->data() + b * classes;
     for (int64_t c = 0; c < classes; ++c) gi[c] = y[c] * (go[c] - dot);
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> SoftmaxLayer::Clone() const {

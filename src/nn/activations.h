@@ -10,8 +10,8 @@ namespace dmlscale::nn {
 /// Elementwise logistic sigmoid, the paper's canonical nonlinearity.
 class SigmoidLayer final : public Layer {
  public:
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "sigmoid"; }
   std::unique_ptr<Layer> Clone() const override;
 
@@ -19,11 +19,12 @@ class SigmoidLayer final : public Layer {
   Tensor last_output_;
 };
 
-/// Elementwise rectified linear unit.
+/// Elementwise rectified linear unit (branch-free select, so throughput is
+/// independent of the sign distribution of the input).
 class ReluLayer final : public Layer {
  public:
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "relu"; }
   std::unique_ptr<Layer> Clone() const override;
 
@@ -34,8 +35,8 @@ class ReluLayer final : public Layer {
 /// Elementwise tanh.
 class TanhLayer final : public Layer {
  public:
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "tanh"; }
   std::unique_ptr<Layer> Clone() const override;
 
@@ -48,8 +49,8 @@ class TanhLayer final : public Layer {
 /// Backward for numerical stability; the standalone Backward is exact.
 class SoftmaxLayer final : public Layer {
  public:
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "softmax"; }
   std::unique_ptr<Layer> Clone() const override;
 

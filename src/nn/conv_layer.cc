@@ -1,6 +1,8 @@
 #include "nn/conv_layer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 
 namespace dmlscale::nn {
 
@@ -25,45 +27,73 @@ Conv2dLayer::Conv2dLayer(int64_t in_depth, int64_t out_maps, int64_t kernel,
   DMLSCALE_CHECK_GT(stride, 0);
   DMLSCALE_CHECK_GE(pad, 0);
   DMLSCALE_CHECK_GT(output_side_, 0);
+  DMLSCALE_CHECK_MSG(geometry().WindowsTileInput(),
+                     "conv window must tile the padded input exactly "
+                     "((side - kernel + 2*pad) % stride == 0); use "
+                     "Conv2dLayer::Create for a recoverable error");
   DMLSCALE_CHECK(rng != nullptr);
   double fan_in = static_cast<double>(in_depth * kernel * kernel);
   kernels_.FillGaussian(1.0 / std::sqrt(fan_in), rng);
 }
 
-Result<Tensor> Conv2dLayer::Forward(const Tensor& input) {
+Result<std::unique_ptr<Conv2dLayer>> Conv2dLayer::Create(
+    int64_t in_depth, int64_t out_maps, int64_t kernel, int64_t input_side,
+    int64_t stride, int64_t pad, Pcg32* rng) {
+  if (in_depth < 1 || out_maps < 1 || kernel < 1 || input_side < 1 ||
+      stride < 1 || pad < 0) {
+    return Status::InvalidArgument("conv2d: dimensions must be positive");
+  }
+  if (rng == nullptr) {
+    return Status::InvalidArgument("conv2d: rng must not be null");
+  }
+  kernels::Conv2dGeometry g{.depth = in_depth,
+                            .side = input_side,
+                            .kernel = kernel,
+                            .stride = stride,
+                            .pad = pad};
+  if (!g.WindowsTileInput()) {
+    return Status::InvalidArgument(
+        "conv2d: window does not tile the input: (side=" +
+        std::to_string(input_side) + " - kernel=" + std::to_string(kernel) +
+        " + 2*pad=" + std::to_string(2 * pad) +
+        ") is not a non-negative multiple of stride=" +
+        std::to_string(stride) +
+        "; rows/columns would be silently dropped");
+  }
+  return std::unique_ptr<Conv2dLayer>(new Conv2dLayer(
+      in_depth, out_maps, kernel, input_side, stride, pad, rng));
+}
+
+Status Conv2dLayer::ForwardInto(const Tensor& input, Tensor* output) {
   if (input.rank() != 4 || input.dim(1) != in_depth_ ||
       input.dim(2) != input_side_ || input.dim(3) != input_side_) {
     return Status::InvalidArgument("conv2d: bad input shape");
   }
-  last_input_ = input;
-  int64_t batch = input.dim(0);
-  Tensor output({batch, out_maps_, output_side_, output_side_});
+  last_input_.CopyFrom(input);
+  const kernels::Conv2dGeometry g = geometry();
+  const int64_t batch = input.dim(0);
+  const int64_t patch = g.patch();
+  const int64_t area = g.out_area();
+  output->ResizeTo({batch, out_maps_, output_side_, output_side_});
+  cols_scratch_.resize(static_cast<size_t>(patch * area));
+  const int64_t in_stride = in_depth_ * input_side_ * input_side_;
+  const int64_t out_stride = out_maps_ * area;
   for (int64_t b = 0; b < batch; ++b) {
+    kernels::Im2Col(g, input.data() + b * in_stride, cols_scratch_.data());
+    double* out_b = output->data() + b * out_stride;
+    // Seed each map's plane with its bias, then out_b += K * cols.
     for (int64_t m = 0; m < out_maps_; ++m) {
-      for (int64_t orow = 0; orow < output_side_; ++orow) {
-        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
-          double acc = bias_[m];
-          for (int64_t d = 0; d < in_depth_; ++d) {
-            for (int64_t kr = 0; kr < kernel_; ++kr) {
-              int64_t irow = orow * stride_ + kr - pad_;
-              if (irow < 0 || irow >= input_side_) continue;
-              for (int64_t kc = 0; kc < kernel_; ++kc) {
-                int64_t icol = ocol * stride_ + kc - pad_;
-                if (icol < 0 || icol >= input_side_) continue;
-                acc += input[input.Index4(b, d, irow, icol)] *
-                       kernels_[kernels_.Index4(m, d, kr, kc)];
-              }
-            }
-          }
-          output[output.Index4(b, m, orow, ocol)] = acc;
-        }
-      }
+      std::fill(out_b + m * area, out_b + (m + 1) * area, bias_[m]);
     }
+    kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kNo, out_maps_, area,
+                  patch, 1.0, kernels_.data(), patch, cols_scratch_.data(),
+                  area, 1.0, out_b, area);
   }
-  return output;
+  return Status::OK();
 }
 
-Result<Tensor> Conv2dLayer::Backward(const Tensor& grad_output) {
+Status Conv2dLayer::BackwardInto(const Tensor& grad_output,
+                                 Tensor* grad_input) {
   if (grad_output.rank() != 4 || grad_output.dim(1) != out_maps_ ||
       grad_output.dim(2) != output_side_ ||
       grad_output.dim(3) != output_side_) {
@@ -72,37 +102,43 @@ Result<Tensor> Conv2dLayer::Backward(const Tensor& grad_output) {
   if (last_input_.size() == 0) {
     return Status::FailedPrecondition("Backward before Forward");
   }
-  int64_t batch = grad_output.dim(0);
+  const int64_t batch = grad_output.dim(0);
   if (last_input_.dim(0) != batch) {
     return Status::InvalidArgument("conv2d: batch mismatch");
   }
-  Tensor grad_input({batch, in_depth_, input_side_, input_side_});
+  const kernels::Conv2dGeometry g = geometry();
+  const int64_t patch = g.patch();
+  const int64_t area = g.out_area();
+  grad_input->ResizeTo({batch, in_depth_, input_side_, input_side_});
+  grad_input->Zero();
+  cols_scratch_.resize(static_cast<size_t>(patch * area));
+  grad_cols_scratch_.resize(static_cast<size_t>(patch * area));
+  const int64_t in_stride = in_depth_ * input_side_ * input_side_;
+  const int64_t out_stride = out_maps_ * area;
   for (int64_t b = 0; b < batch; ++b) {
+    const double* go_b = grad_output.data() + b * out_stride;
+    // db += row sums of dY.
     for (int64_t m = 0; m < out_maps_; ++m) {
-      for (int64_t orow = 0; orow < output_side_; ++orow) {
-        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
-          double go = grad_output[grad_output.Index4(b, m, orow, ocol)];
-          if (go == 0.0) continue;
-          grad_bias_[m] += go;
-          for (int64_t d = 0; d < in_depth_; ++d) {
-            for (int64_t kr = 0; kr < kernel_; ++kr) {
-              int64_t irow = orow * stride_ + kr - pad_;
-              if (irow < 0 || irow >= input_side_) continue;
-              for (int64_t kc = 0; kc < kernel_; ++kc) {
-                int64_t icol = ocol * stride_ + kc - pad_;
-                if (icol < 0 || icol >= input_side_) continue;
-                int64_t in_idx = last_input_.Index4(b, d, irow, icol);
-                int64_t k_idx = kernels_.Index4(m, d, kr, kc);
-                grad_kernels_[k_idx] += go * last_input_[in_idx];
-                grad_input[in_idx] += go * kernels_[k_idx];
-              }
-            }
-          }
-        }
-      }
+      const double* go_row = go_b + m * area;
+      double acc = 0.0;
+      for (int64_t j = 0; j < area; ++j) acc += go_row[j];
+      grad_bias_[m] += acc;
     }
+    // dK += dY * cols^T (cols recomputed from the cached input — cheaper
+    // than materializing im2col for the whole batch in Forward).
+    kernels::Im2Col(g, last_input_.data() + b * in_stride,
+                    cols_scratch_.data());
+    kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kTrans, out_maps_,
+                  patch, area, 1.0, go_b, area, cols_scratch_.data(), area,
+                  1.0, grad_kernels_.data(), patch);
+    // d(cols) = K^T * dY, scattered back through col2im.
+    kernels::Gemm(kernels::Trans::kTrans, kernels::Trans::kNo, patch, area,
+                  out_maps_, 1.0, kernels_.data(), patch, go_b, area, 0.0,
+                  grad_cols_scratch_.data(), area);
+    kernels::Col2Im(g, grad_cols_scratch_.data(),
+                    grad_input->data() + b * in_stride);
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::vector<Tensor*> Conv2dLayer::Parameters() { return {&kernels_, &bias_}; }

@@ -2,23 +2,41 @@
 #define DMLSCALE_NN_CONV_LAYER_H_
 
 #include <memory>
+#include <vector>
 
 #include "common/random.h"
+#include "nn/kernels.h"
 #include "nn/layer.h"
 
 namespace dmlscale::nn {
 
-/// Naive 2D convolution over {batch, depth, side, side} inputs with square
+/// 2D convolution over {batch, depth, side, side} inputs with square
 /// kernels, zero padding `pad` on each side, and stride `stride`. Output
 /// side follows the paper's formula with border b = 2 * pad:
 /// c = (side - kernel + 2 * pad) / stride + 1.
+///
+/// Forward and backward are lowered to GEMM through im2col/col2im
+/// (kernels.h); the im2col scratch buffers live on the layer and are
+/// reused across batches, so steady-state training allocates nothing.
+///
+/// Geometry must tile: (side - kernel + 2 * pad) must be a non-negative
+/// multiple of stride. Anything else means the sliding window silently
+/// drops input rows/columns — the constructor CHECK-fails on it, and the
+/// Create() factory reports it as InvalidArgument.
 class Conv2dLayer final : public Layer {
  public:
   Conv2dLayer(int64_t in_depth, int64_t out_maps, int64_t kernel,
               int64_t input_side, int64_t stride, int64_t pad, Pcg32* rng);
 
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  /// Validating factory: returns InvalidArgument (instead of aborting) for
+  /// non-positive dimensions or geometry where the window does not tile
+  /// the padded input.
+  static Result<std::unique_ptr<Conv2dLayer>> Create(
+      int64_t in_depth, int64_t out_maps, int64_t kernel, int64_t input_side,
+      int64_t stride, int64_t pad, Pcg32* rng);
+
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::vector<Tensor*> Parameters() override;
   std::vector<Tensor*> Gradients() override;
   void ZeroGradients() override;
@@ -32,6 +50,14 @@ class Conv2dLayer final : public Layer {
  private:
   Conv2dLayer(const Conv2dLayer&) = default;
 
+  kernels::Conv2dGeometry geometry() const {
+    return {.depth = in_depth_,
+            .side = input_side_,
+            .kernel = kernel_,
+            .stride = stride_,
+            .pad = pad_};
+  }
+
   int64_t in_depth_;
   int64_t out_maps_;
   int64_t kernel_;
@@ -44,6 +70,10 @@ class Conv2dLayer final : public Layer {
   Tensor grad_kernels_;
   Tensor grad_bias_;
   Tensor last_input_;
+  /// im2col scratch {patch, out_area}, reused across items and batches.
+  std::vector<double> cols_scratch_;
+  /// dLoss/d(cols) scratch for backward, same shape as cols_scratch_.
+  std::vector<double> grad_cols_scratch_;
 };
 
 }  // namespace dmlscale::nn

@@ -1,11 +1,19 @@
 #include "nn/data.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
 namespace dmlscale::nn {
 
 Result<Dataset> Dataset::Slice(int64_t begin, int64_t end) const {
+  Dataset out{Tensor({0}), Tensor({0})};
+  DMLSCALE_RETURN_NOT_OK(CopySliceInto(begin, end, &out));
+  return out;
+}
+
+Status Dataset::CopySliceInto(int64_t begin, int64_t end,
+                              Dataset* out) const {
   if (begin < 0 || end > num_examples() || begin >= end) {
     return Status::OutOfRange("bad slice range");
   }
@@ -17,14 +25,13 @@ Result<Dataset> Dataset::Slice(int64_t begin, int64_t end) const {
   std::vector<int64_t> tshape = targets.shape();
   tshape[0] = end - begin;
 
-  Dataset out{Tensor(fshape), Tensor(tshape)};
-  for (int64_t i = 0; i < (end - begin) * per_example_f; ++i) {
-    out.features[i] = features[begin * per_example_f + i];
-  }
-  for (int64_t i = 0; i < (end - begin) * per_example_t; ++i) {
-    out.targets[i] = targets[begin * per_example_t + i];
-  }
-  return out;
+  out->features.ResizeTo(fshape);
+  out->targets.ResizeTo(tshape);
+  std::copy(features.data() + begin * per_example_f,
+            features.data() + end * per_example_f, out->features.data());
+  std::copy(targets.data() + begin * per_example_t,
+            targets.data() + end * per_example_t, out->targets.data());
+  return Status::OK();
 }
 
 Result<Dataset> SyntheticClassification(int64_t examples, int64_t dims,

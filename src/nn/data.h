@@ -21,6 +21,10 @@ struct Dataset {
 
   /// Contiguous slice [begin, end) of examples.
   Result<Dataset> Slice(int64_t begin, int64_t end) const;
+
+  /// Copies examples [begin, end) into `*out`, reusing its buffers
+  /// (allocation-free once warm — the mini-batch path of the trainer).
+  Status CopySliceInto(int64_t begin, int64_t end, Dataset* out) const;
 };
 
 /// Linearly separable Gaussian blobs, one per class, with one-hot targets.

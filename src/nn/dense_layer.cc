@@ -1,6 +1,9 @@
 #include "nn/dense_layer.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "nn/kernels.h"
 
 namespace dmlscale::nn {
 
@@ -17,29 +20,27 @@ DenseLayer::DenseLayer(int64_t inputs, int64_t outputs, Pcg32* rng)
   weights_.FillGaussian(1.0 / std::sqrt(static_cast<double>(inputs)), rng);
 }
 
-Result<Tensor> DenseLayer::Forward(const Tensor& input) {
+Status DenseLayer::ForwardInto(const Tensor& input, Tensor* output) {
   if (input.rank() != 2 || input.dim(1) != inputs_) {
     return Status::InvalidArgument("dense: expected {batch, " +
                                    std::to_string(inputs_) + "} input");
   }
-  last_input_ = input;
+  last_input_.CopyFrom(input);
   int64_t batch = input.dim(0);
-  Tensor output({batch, outputs_});
+  output->ResizeTo({batch, outputs_});
+  // Seed each output row with the bias, then accumulate x W on top.
   for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t i = 0; i < inputs_; ++i) {
-      double x = input.At2(b, i);
-      if (x == 0.0) continue;
-      const double* w_row = weights_.data() + i * outputs_;
-      double* out_row = output.data() + b * outputs_;
-      for (int64_t o = 0; o < outputs_; ++o) out_row[o] += x * w_row[o];
-    }
-    double* out_row = output.data() + b * outputs_;
-    for (int64_t o = 0; o < outputs_; ++o) out_row[o] += bias_[o];
+    std::copy(bias_.data(), bias_.data() + outputs_,
+              output->data() + b * outputs_);
   }
-  return output;
+  kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kNo, batch, outputs_,
+                inputs_, 1.0, input.data(), inputs_, weights_.data(),
+                outputs_, 1.0, output->data(), outputs_);
+  return Status::OK();
 }
 
-Result<Tensor> DenseLayer::Backward(const Tensor& grad_output) {
+Status DenseLayer::BackwardInto(const Tensor& grad_output,
+                                Tensor* grad_input) {
   if (grad_output.rank() != 2 || grad_output.dim(1) != outputs_) {
     return Status::InvalidArgument("dense: bad grad_output shape");
   }
@@ -50,24 +51,22 @@ Result<Tensor> DenseLayer::Backward(const Tensor& grad_output) {
   if (last_input_.dim(0) != batch) {
     return Status::InvalidArgument("dense: batch mismatch");
   }
-  Tensor grad_input({batch, inputs_});
+  // dX = dY W^T.
+  grad_input->ResizeTo({batch, inputs_});
+  kernels::Gemm(kernels::Trans::kNo, kernels::Trans::kTrans, batch, inputs_,
+                outputs_, 1.0, grad_output.data(), outputs_, weights_.data(),
+                outputs_, 0.0, grad_input->data(), inputs_);
+  // dW += X^T dY.
+  kernels::Gemm(kernels::Trans::kTrans, kernels::Trans::kNo, inputs_,
+                outputs_, batch, 1.0, last_input_.data(), inputs_,
+                grad_output.data(), outputs_, 1.0, grad_weights_.data(),
+                outputs_);
+  // db += column sums of dY.
   for (int64_t b = 0; b < batch; ++b) {
     const double* go_row = grad_output.data() + b * outputs_;
-    const double* in_row = last_input_.data() + b * inputs_;
-    for (int64_t i = 0; i < inputs_; ++i) {
-      const double* w_row = weights_.data() + i * outputs_;
-      double* gw_row = grad_weights_.data() + i * outputs_;
-      double acc = 0.0;
-      double x = in_row[i];
-      for (int64_t o = 0; o < outputs_; ++o) {
-        acc += go_row[o] * w_row[o];
-        gw_row[o] += x * go_row[o];
-      }
-      grad_input.At2(b, i) = acc;
-    }
     for (int64_t o = 0; o < outputs_; ++o) grad_bias_[o] += go_row[o];
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::vector<Tensor*> DenseLayer::Parameters() { return {&weights_, &bias_}; }

@@ -9,14 +9,17 @@
 namespace dmlscale::nn {
 
 /// Fully connected layer: y = x W + b for batch input x of shape
-/// {batch, inputs}; W is {inputs, outputs}, b is {outputs}.
+/// {batch, inputs}; W is {inputs, outputs}, b is {outputs}. Forward and
+/// backward are single kernels::Gemm calls (no data-dependent branches, so
+/// measured FLOP throughput is input-independent — important for the
+/// calibration experiments).
 class DenseLayer final : public Layer {
  public:
   /// Gaussian-initialized weights with stddev 1/sqrt(inputs).
   DenseLayer(int64_t inputs, int64_t outputs, Pcg32* rng);
 
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::vector<Tensor*> Parameters() override;
   std::vector<Tensor*> Gradients() override;
   void ZeroGradients() override;
@@ -37,7 +40,7 @@ class DenseLayer final : public Layer {
   Tensor bias_;          // {outputs}
   Tensor grad_weights_;  // accumulated
   Tensor grad_bias_;
-  Tensor last_input_;    // cached by Forward
+  Tensor last_input_;    // cached by ForwardInto
 };
 
 }  // namespace dmlscale::nn

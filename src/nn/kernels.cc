@@ -1,0 +1,230 @@
+#include "nn/kernels.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "engine/parallel_for.h"
+
+namespace dmlscale::nn::kernels {
+
+namespace {
+
+// Block sizes sized for typical caches of doubles: a kBlockK x kBlockN
+// panel of B (128x512 = 512 KiB) is reused across a kBlockM-row stripe of
+// A while kBlockN-wide segments of C stay in L1. The wide N block keeps
+// the vectorized inner axpy long enough to amortize its setup.
+constexpr int64_t kBlockM = 64;
+constexpr int64_t kBlockN = 512;
+constexpr int64_t kBlockK = 128;
+
+// C *= beta over an m x n row-major window (beta == 0 becomes a fill so
+// NaN/Inf garbage in uninitialized scratch can never leak through).
+void ScaleC(double beta, int64_t m, int64_t n, double* c, int64_t ldc) {
+  if (beta == 1.0) return;
+  for (int64_t i = 0; i < m; ++i) {
+    double* row = c + i * ldc;
+    if (beta == 0.0) {
+      std::fill(row, row + n, 0.0);
+    } else {
+      for (int64_t j = 0; j < n; ++j) row[j] *= beta;
+    }
+  }
+}
+
+// C += alpha * A * B, A m x k, B k x n. Loop order (jc, pc, i, p, j): the
+// innermost j loop is a contiguous axpy over B's row and C's row, which
+// auto-vectorizes; per C element, p ascends across pc blocks in order.
+void GemmNN(int64_t m, int64_t n, int64_t k, double alpha, const double* a,
+            int64_t lda, const double* b, int64_t ldb, double* c,
+            int64_t ldc) {
+  for (int64_t jc = 0; jc < n; jc += kBlockN) {
+    int64_t nb = std::min(kBlockN, n - jc);
+    for (int64_t pc = 0; pc < k; pc += kBlockK) {
+      int64_t kb = std::min(kBlockK, k - pc);
+      for (int64_t ic = 0; ic < m; ic += kBlockM) {
+        int64_t mb = std::min(kBlockM, m - ic);
+        for (int64_t i = ic; i < ic + mb; ++i) {
+          const double* arow = a + i * lda;
+          double* crow = c + i * ldc + jc;
+          for (int64_t p = pc; p < pc + kb; ++p) {
+            double ap = alpha * arow[p];
+            const double* brow = b + p * ldb + jc;
+            for (int64_t j = 0; j < nb; ++j) crow[j] += ap * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// C += alpha * A * B^T, A m x k, B n x k: C[i,j] is a dot product of two
+// contiguous rows. Per C element, p ascends across pc blocks in order.
+void GemmNT(int64_t m, int64_t n, int64_t k, double alpha, const double* a,
+            int64_t lda, const double* b, int64_t ldb, double* c,
+            int64_t ldc) {
+  for (int64_t pc = 0; pc < k; pc += kBlockK) {
+    int64_t kb = std::min(kBlockK, k - pc);
+    for (int64_t ic = 0; ic < m; ic += kBlockM) {
+      int64_t mb = std::min(kBlockM, m - ic);
+      for (int64_t jc = 0; jc < n; jc += kBlockN) {
+        int64_t nb = std::min(kBlockN, n - jc);
+        for (int64_t i = ic; i < ic + mb; ++i) {
+          const double* arow = a + i * lda + pc;
+          double* crow = c + i * ldc;
+          for (int64_t j = jc; j < jc + nb; ++j) {
+            const double* brow = b + j * ldb + pc;
+            double acc = 0.0;
+            for (int64_t p = 0; p < kb; ++p) acc += arow[p] * brow[p];
+            crow[j] += alpha * acc;
+          }
+        }
+      }
+    }
+  }
+}
+
+// C += alpha * A^T * B, A k x m, B k x n: rank-1 updates of the C tile,
+// one per p. Per C element, p ascends (p is the second-innermost loop
+// within a fixed (ic, jc) tile).
+void GemmTN(int64_t m, int64_t n, int64_t k, double alpha, const double* a,
+            int64_t lda, const double* b, int64_t ldb, double* c,
+            int64_t ldc) {
+  for (int64_t ic = 0; ic < m; ic += kBlockM) {
+    int64_t mb = std::min(kBlockM, m - ic);
+    for (int64_t jc = 0; jc < n; jc += kBlockN) {
+      int64_t nb = std::min(kBlockN, n - jc);
+      for (int64_t p = 0; p < k; ++p) {
+        const double* arow = a + p * lda;
+        const double* brow = b + p * ldb + jc;
+        for (int64_t i = ic; i < ic + mb; ++i) {
+          double ap = alpha * arow[i];
+          double* crow = c + i * ldc + jc;
+          for (int64_t j = 0; j < nb; ++j) crow[j] += ap * brow[j];
+        }
+      }
+    }
+  }
+}
+
+// C += alpha * A^T * B^T, A k x m, B n x k. Not on any layer hot path
+// (kept for API completeness); simple dot-product form.
+void GemmTT(int64_t m, int64_t n, int64_t k, double alpha, const double* a,
+            int64_t lda, const double* b, int64_t ldb, double* c,
+            int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    double* crow = c + i * ldc;
+    for (int64_t j = 0; j < n; ++j) {
+      const double* brow = b + j * ldb;
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) acc += a[p * lda + i] * brow[p];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n, int64_t k,
+          double alpha, const double* a, int64_t lda, const double* b,
+          int64_t ldb, double beta, double* c, int64_t ldc) {
+  DMLSCALE_CHECK_GE(m, 0);
+  DMLSCALE_CHECK_GE(n, 0);
+  DMLSCALE_CHECK_GE(k, 0);
+  if (m == 0 || n == 0) return;
+  ScaleC(beta, m, n, c, ldc);
+  if (k == 0 || alpha == 0.0) return;
+  if (trans_a == Trans::kNo && trans_b == Trans::kNo) {
+    GemmNN(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_a == Trans::kNo) {
+    GemmNT(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (trans_b == Trans::kNo) {
+    GemmTN(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    GemmTT(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+void GemmParallel(ThreadPool* pool, int max_shards, Trans trans_a,
+                  Trans trans_b, int64_t m, int64_t n, int64_t k, double alpha,
+                  const double* a, int64_t lda, const double* b, int64_t ldb,
+                  double beta, double* c, int64_t ldc) {
+  int shards = engine::NumShardsForRange(
+      0, m, {.max_shards = max_shards, .min_grain = kGemmRowGrain});
+  if (pool == nullptr || shards <= 1) {
+    Gemm(trans_a, trans_b, m, n, k, alpha, a, lda, b, ldb, beta, c, ldc);
+    return;
+  }
+  engine::ParallelFor(
+      pool, 0, m, shards, [&](int /*shard*/, int64_t row0, int64_t row1) {
+        if (row0 >= row1) return;
+        // op(A)'s row r0 starts at A[r0, 0] (stored rows) or A[0, r0]
+        // (stored columns) depending on the transpose flag.
+        const double* a_sub =
+            trans_a == Trans::kNo ? a + row0 * lda : a + row0;
+        Gemm(trans_a, trans_b, row1 - row0, n, k, alpha, a_sub, lda, b, ldb,
+             beta, c + row0 * ldc, ldc);
+      });
+}
+
+void Im2Col(const Conv2dGeometry& g, const double* image, double* cols) {
+  const int64_t side = g.side, K = g.kernel, s = g.stride, pad = g.pad;
+  const int64_t os = g.out_side();
+  double* out = cols;
+  for (int64_t d = 0; d < g.depth; ++d) {
+    const double* plane = image + d * side * side;
+    for (int64_t kr = 0; kr < K; ++kr) {
+      for (int64_t kc = 0; kc < K; ++kc) {
+        auto [lo, hi] = g.ValidOcolRange(kc);
+        for (int64_t orow = 0; orow < os; ++orow) {
+          int64_t irow = orow * s + kr - pad;
+          double* crow = out + orow * os;
+          if (irow < 0 || irow >= side) {
+            std::fill(crow, crow + os, 0.0);
+            continue;
+          }
+          // lo guarantees ocol*s + kc - pad >= 0, so indexing stays inside
+          // the row (never form a pre-begin pointer — that is UB even
+          // unread).
+          const double* irow_base = plane + irow * side;
+          std::fill(crow, crow + lo, 0.0);
+          if (s == 1) {
+            std::copy(irow_base + lo + kc - pad, irow_base + hi + kc - pad,
+                      crow + lo);
+          } else {
+            for (int64_t ocol = lo; ocol < hi; ++ocol) {
+              crow[ocol] = irow_base[ocol * s + kc - pad];
+            }
+          }
+          std::fill(crow + hi, crow + os, 0.0);
+        }
+        out += os * os;
+      }
+    }
+  }
+}
+
+void Col2Im(const Conv2dGeometry& g, const double* cols, double* image) {
+  const int64_t side = g.side, K = g.kernel, s = g.stride, pad = g.pad;
+  const int64_t os = g.out_side();
+  const double* in = cols;
+  for (int64_t d = 0; d < g.depth; ++d) {
+    double* plane = image + d * side * side;
+    for (int64_t kr = 0; kr < K; ++kr) {
+      for (int64_t kc = 0; kc < K; ++kc) {
+        auto [lo, hi] = g.ValidOcolRange(kc);
+        for (int64_t orow = 0; orow < os; ++orow) {
+          int64_t irow = orow * s + kr - pad;
+          if (irow < 0 || irow >= side) continue;
+          const double* crow = in + orow * os;
+          double* irow_base = plane + irow * side;
+          for (int64_t ocol = lo; ocol < hi; ++ocol) {
+            irow_base[ocol * s + kc - pad] += crow[ocol];
+          }
+        }
+        in += os * os;
+      }
+    }
+  }
+}
+
+}  // namespace dmlscale::nn::kernels

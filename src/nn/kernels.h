@@ -1,0 +1,98 @@
+#ifndef DMLSCALE_NN_KERNELS_H_
+#define DMLSCALE_NN_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/thread_pool.h"
+
+namespace dmlscale::nn::kernels {
+
+/// Whether an operand of Gemm is used transposed.
+enum class Trans { kNo, kTrans };
+
+/// C = alpha * op(A) * op(B) + beta * C over row-major matrices, where
+/// op(A) is m x k and op(B) is k x n. `lda/ldb/ldc` are the row strides of
+/// the *stored* matrices (A is m x k when trans_a == kNo, k x m when
+/// kTrans; likewise for B).
+///
+/// Cache-blocked over all three dimensions. Determinism contract: each C
+/// element accumulates its k products in strictly ascending k order, for
+/// every blocking configuration and every row range — which is what makes
+/// GemmParallel bit-identical to the serial call.
+void Gemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n, int64_t k,
+          double alpha, const double* a, int64_t lda, const double* b,
+          int64_t ldb, double beta, double* c, int64_t ldc);
+
+/// Gemm sharded over row blocks of C on `pool` (at most `max_shards`
+/// shards, never fewer than kGemmRowGrain rows per shard). Each C row is
+/// produced by exactly one shard running the same instruction sequence as
+/// the serial kernel, so the result is bit-identical to Gemm() for any
+/// shard count. Falls back to the serial kernel when `pool` is null or the
+/// problem is too small to shard.
+void GemmParallel(ThreadPool* pool, int max_shards, Trans trans_a,
+                  Trans trans_b, int64_t m, int64_t n, int64_t k, double alpha,
+                  const double* a, int64_t lda, const double* b, int64_t ldb,
+                  double beta, double* c, int64_t ldc);
+
+/// Minimum C rows per GemmParallel shard; below this, threading overhead
+/// dominates the arithmetic.
+inline constexpr int64_t kGemmRowGrain = 8;
+
+/// Geometry of a square 2D convolution over one {depth, side, side} image.
+struct Conv2dGeometry {
+  int64_t depth = 1;
+  int64_t side = 1;
+  int64_t kernel = 1;
+  int64_t stride = 1;
+  int64_t pad = 0;
+
+  int64_t out_side() const { return (side - kernel + 2 * pad) / stride + 1; }
+  /// Rows of the im2col matrix: one per (depth, kernel-row, kernel-col).
+  int64_t patch() const { return depth * kernel * kernel; }
+  /// Columns of the im2col matrix: one per output pixel.
+  int64_t out_area() const { return out_side() * out_side(); }
+  /// True when the sliding window tiles the (padded) input exactly, i.e.
+  /// no input rows/columns are silently dropped by the floor division.
+  bool WindowsTileInput() const {
+    int64_t span = side - kernel + 2 * pad;
+    return span >= 0 && span % stride == 0;
+  }
+
+  /// Output columns whose input column lands inside [0, side) for kernel
+  /// column `kc`: 0 <= ocol*stride + kc - pad < side, clamped to
+  /// [0, out_side()] (empty when pad >= kernel puts `kc` past the input).
+  /// Shared by Im2Col and its adjoint Col2Im so the forward lowering and
+  /// the gradient scatter can never disagree on the valid range.
+  struct ColRange {
+    int64_t lo = 0;
+    int64_t hi = 0;
+  };
+  ColRange ValidOcolRange(int64_t kc) const {
+    int64_t os = out_side();
+    int64_t lo =
+        pad > kc ? (pad - kc + stride - 1) / stride : 0;
+    if (lo > os) lo = os;
+    int64_t top = side - 1 - kc + pad;
+    int64_t hi = top < 0 ? 0 : top / stride + 1;
+    if (hi > os) hi = os;
+    if (hi < lo) hi = lo;
+    return {lo, hi};
+  }
+};
+
+/// Lowers one image {depth, side, side} to the im2col matrix
+/// cols {patch(), out_area()}: cols[(d*K + kr)*K + kc, orow*C + ocol] =
+/// image[d, orow*stride + kr - pad, ocol*stride + kc - pad], zero where
+/// the index falls into the padding border. Interior spans are copied with
+/// branch-free strided loops (contiguous memcpy-style when stride == 1).
+void Im2Col(const Conv2dGeometry& g, const double* image, double* cols);
+
+/// Adjoint of Im2Col: scatter-adds cols {patch(), out_area()} back into
+/// image {depth, side, side}. The caller zeroes `image` first; padding
+/// positions are skipped. Accumulation order is fixed (kernel-row, then
+/// kernel-col, then output pixel), so results are reproducible.
+void Col2Im(const Conv2dGeometry& g, const double* cols, double* image);
+
+}  // namespace dmlscale::nn::kernels
+
+#endif  // DMLSCALE_NN_KERNELS_H_

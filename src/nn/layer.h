@@ -9,19 +9,41 @@
 
 namespace dmlscale::nn {
 
-/// A differentiable layer. Forward() caches what Backward() needs; the pair
-/// must be called in sequence (standard backprop contract). Parameter
-/// gradients accumulate across Backward() calls until ZeroGradients().
+/// A differentiable layer. ForwardInto() caches what BackwardInto() needs;
+/// the pair must be called in sequence (standard backprop contract).
+/// Parameter gradients accumulate across BackwardInto() calls until
+/// ZeroGradients().
+///
+/// The Into methods write into caller-owned scratch tensors (resized with
+/// Tensor::ResizeTo, which reuses capacity), so a steady-state training
+/// loop performs zero tensor-buffer allocations. `output`/`grad_input`
+/// must not alias the input argument. The allocating Forward/Backward
+/// wrappers remain for tests and one-off use.
 class Layer {
  public:
   virtual ~Layer() = default;
 
-  /// Computes the layer output for a batch input.
-  virtual Result<Tensor> Forward(const Tensor& input) = 0;
+  /// Computes the layer output for a batch input into `*output`.
+  virtual Status ForwardInto(const Tensor& input, Tensor* output) = 0;
 
-  /// Given dLoss/dOutput, accumulates parameter gradients and returns
-  /// dLoss/dInput. Must follow a Forward() call.
-  virtual Result<Tensor> Backward(const Tensor& grad_output) = 0;
+  /// Given dLoss/dOutput, accumulates parameter gradients and writes
+  /// dLoss/dInput into `*grad_input`. Must follow a ForwardInto() call.
+  virtual Status BackwardInto(const Tensor& grad_output,
+                              Tensor* grad_input) = 0;
+
+  /// Allocating convenience wrapper around ForwardInto().
+  Result<Tensor> Forward(const Tensor& input) {
+    Tensor output;
+    DMLSCALE_RETURN_NOT_OK(ForwardInto(input, &output));
+    return output;
+  }
+
+  /// Allocating convenience wrapper around BackwardInto().
+  Result<Tensor> Backward(const Tensor& grad_output) {
+    Tensor grad_input;
+    DMLSCALE_RETURN_NOT_OK(BackwardInto(grad_output, &grad_input));
+    return grad_input;
+  }
 
   /// Trainable parameter tensors (empty for activations).
   virtual std::vector<Tensor*> Parameters() { return {}; }

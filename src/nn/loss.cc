@@ -1,11 +1,13 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace dmlscale::nn {
 
-Result<LossResult> MeanSquaredError::Compute(const Tensor& predictions,
-                                             const Tensor& targets) const {
+Status MeanSquaredError::ComputeInto(const Tensor& predictions,
+                                     const Tensor& targets, double* loss,
+                                     Tensor* grad) const {
   if (!predictions.SameShape(targets)) {
     return Status::InvalidArgument("mse: shape mismatch");
   }
@@ -13,20 +15,21 @@ Result<LossResult> MeanSquaredError::Compute(const Tensor& predictions,
     return Status::InvalidArgument("mse: expected non-empty rank-2 tensors");
   }
   double batch = static_cast<double>(predictions.dim(0));
-  LossResult result;
-  result.grad = Tensor(predictions.shape());
+  grad->ResizeTo(predictions.shape());
   double acc = 0.0;
   for (int64_t i = 0; i < predictions.size(); ++i) {
     double d = predictions[i] - targets[i];
     acc += d * d;
-    result.grad[i] = d / batch;
+    (*grad)[i] = d / batch;
   }
-  result.loss = acc / (2.0 * batch);
-  return result;
+  *loss = acc / (2.0 * batch);
+  return Status::OK();
 }
 
-Result<LossResult> SoftmaxCrossEntropyLoss::Compute(
-    const Tensor& logits, const Tensor& one_hot_targets) const {
+Status SoftmaxCrossEntropyLoss::ComputeInto(const Tensor& logits,
+                                            const Tensor& one_hot_targets,
+                                            double* loss,
+                                            Tensor* grad) const {
   if (!logits.SameShape(one_hot_targets)) {
     return Status::InvalidArgument("xent: shape mismatch");
   }
@@ -35,8 +38,7 @@ Result<LossResult> SoftmaxCrossEntropyLoss::Compute(
   }
   int64_t batch = logits.dim(0);
   int64_t classes = logits.dim(1);
-  LossResult result;
-  result.grad = Tensor(logits.shape());
+  grad->ResizeTo(logits.shape());
   double total = 0.0;
   for (int64_t b = 0; b < batch; ++b) {
     const double* row = logits.data() + b * classes;
@@ -50,12 +52,12 @@ Result<LossResult> SoftmaxCrossEntropyLoss::Compute(
     for (int64_t c = 0; c < classes; ++c) {
       double p = std::exp(row[c] - log_sum);
       double t = one_hot_targets.At2(b, c);
-      result.grad.At2(b, c) = (p - t) / static_cast<double>(batch);
+      grad->At2(b, c) = (p - t) / static_cast<double>(batch);
       if (t > 0.0) total -= t * (row[c] - log_sum);
     }
   }
-  result.loss = total / static_cast<double>(batch);
-  return result;
+  *loss = total / static_cast<double>(batch);
+  return Status::OK();
 }
 
 }  // namespace dmlscale::nn

@@ -1,6 +1,8 @@
 #ifndef DMLSCALE_NN_LOSS_H_
 #define DMLSCALE_NN_LOSS_H_
 
+#include <string>
+
 #include "common/status.h"
 #include "nn/tensor.h"
 
@@ -14,19 +16,32 @@ struct LossResult {
 };
 
 /// A batch loss function over {batch, outputs} predictions and targets.
+/// ComputeInto writes the gradient into caller-owned scratch (resized in
+/// place) so training loops allocate nothing; Compute is the allocating
+/// convenience wrapper.
 class Loss {
  public:
   virtual ~Loss() = default;
-  virtual Result<LossResult> Compute(const Tensor& predictions,
-                                     const Tensor& targets) const = 0;
+
+  virtual Status ComputeInto(const Tensor& predictions, const Tensor& targets,
+                             double* loss, Tensor* grad) const = 0;
+
+  Result<LossResult> Compute(const Tensor& predictions,
+                             const Tensor& targets) const {
+    LossResult result;
+    DMLSCALE_RETURN_NOT_OK(
+        ComputeInto(predictions, targets, &result.loss, &result.grad));
+    return result;
+  }
+
   virtual std::string name() const = 0;
 };
 
 /// Mean squared error: (1 / (2 * batch)) * sum (p - t)^2.
 class MeanSquaredError final : public Loss {
  public:
-  Result<LossResult> Compute(const Tensor& predictions,
-                             const Tensor& targets) const override;
+  Status ComputeInto(const Tensor& predictions, const Tensor& targets,
+                     double* loss, Tensor* grad) const override;
   std::string name() const override { return "mse"; }
 };
 
@@ -34,8 +49,8 @@ class MeanSquaredError final : public Loss {
 /// the two keeps the gradient simply (softmax - target) / batch.
 class SoftmaxCrossEntropyLoss final : public Loss {
  public:
-  Result<LossResult> Compute(const Tensor& logits,
-                             const Tensor& one_hot_targets) const override;
+  Status ComputeInto(const Tensor& logits, const Tensor& one_hot_targets,
+                     double* loss, Tensor* grad) const override;
   std::string name() const override { return "softmax-cross-entropy"; }
 };
 

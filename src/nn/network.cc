@@ -8,59 +8,91 @@ namespace dmlscale::nn {
 void Network::Add(std::unique_ptr<Layer> layer) {
   DMLSCALE_CHECK(layer != nullptr);
   layers_.push_back(std::move(layer));
+  caches_valid_ = false;
+}
+
+Status Network::ForwardChain(const Tensor& input, const Tensor** out) {
+  if (layers_.empty()) return Status::FailedPrecondition("empty network");
+  const Tensor* current = &input;
+  int toggle = 0;
+  for (auto& layer : layers_) {
+    Tensor* dst = &fwd_scratch_[toggle];
+    toggle ^= 1;
+    DMLSCALE_RETURN_NOT_OK(layer->ForwardInto(*current, dst));
+    current = dst;
+  }
+  *out = current;
+  return Status::OK();
+}
+
+Status Network::BackwardChain(const Tensor& grad_loss, const Tensor** out) {
+  if (layers_.empty()) return Status::FailedPrecondition("empty network");
+  const Tensor* current = &grad_loss;
+  int toggle = 0;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    Tensor* dst = &bwd_scratch_[toggle];
+    toggle ^= 1;
+    DMLSCALE_RETURN_NOT_OK((*it)->BackwardInto(*current, dst));
+    current = dst;
+  }
+  *out = current;
+  return Status::OK();
 }
 
 Result<Tensor> Network::Forward(const Tensor& input) {
-  if (layers_.empty()) return Status::FailedPrecondition("empty network");
-  Tensor current = input;
-  for (auto& layer : layers_) {
-    DMLSCALE_ASSIGN_OR_RETURN(current, layer->Forward(current));
-  }
-  return current;
+  const Tensor* out = nullptr;
+  DMLSCALE_RETURN_NOT_OK(ForwardChain(input, &out));
+  return *out;
 }
 
 Result<Tensor> Network::Backward(const Tensor& grad_loss) {
-  if (layers_.empty()) return Status::FailedPrecondition("empty network");
-  Tensor current = grad_loss;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
-    DMLSCALE_ASSIGN_OR_RETURN(current, (*it)->Backward(current));
-  }
-  return current;
+  const Tensor* out = nullptr;
+  DMLSCALE_RETURN_NOT_OK(BackwardChain(grad_loss, &out));
+  return *out;
 }
 
 Result<double> Network::ComputeGradients(const Tensor& input,
                                          const Tensor& targets,
                                          const Loss& loss) {
-  DMLSCALE_ASSIGN_OR_RETURN(Tensor predictions, Forward(input));
-  DMLSCALE_ASSIGN_OR_RETURN(LossResult lr, loss.Compute(predictions, targets));
-  DMLSCALE_ASSIGN_OR_RETURN(Tensor ignored, Backward(lr.grad));
-  (void)ignored;
-  return lr.loss;
+  const Tensor* predictions = nullptr;
+  DMLSCALE_RETURN_NOT_OK(ForwardChain(input, &predictions));
+  double loss_value = 0.0;
+  DMLSCALE_RETURN_NOT_OK(
+      loss.ComputeInto(*predictions, targets, &loss_value,
+                       &loss_grad_scratch_));
+  const Tensor* ignored = nullptr;
+  DMLSCALE_RETURN_NOT_OK(BackwardChain(loss_grad_scratch_, &ignored));
+  return loss_value;
 }
 
 void Network::ZeroGradients() {
   for (auto& layer : layers_) layer->ZeroGradients();
 }
 
-std::vector<Tensor*> Network::Parameters() {
-  std::vector<Tensor*> params;
+void Network::EnsureViewCaches() {
+  if (caches_valid_) return;
+  param_cache_.clear();
+  grad_cache_.clear();
   for (auto& layer : layers_) {
-    for (Tensor* p : layer->Parameters()) params.push_back(p);
+    for (Tensor* p : layer->Parameters()) param_cache_.push_back(p);
+    for (Tensor* g : layer->Gradients()) grad_cache_.push_back(g);
   }
-  return params;
+  caches_valid_ = true;
 }
 
-std::vector<Tensor*> Network::Gradients() {
-  std::vector<Tensor*> grads;
-  for (auto& layer : layers_) {
-    for (Tensor* g : layer->Gradients()) grads.push_back(g);
-  }
-  return grads;
+const std::vector<Tensor*>& Network::Parameters() {
+  EnsureViewCaches();
+  return param_cache_;
+}
+
+const std::vector<Tensor*>& Network::Gradients() {
+  EnsureViewCaches();
+  return grad_cache_;
 }
 
 Status Network::CopyParametersFrom(Network& other) {
-  auto dst = Parameters();
-  auto src = other.Parameters();
+  const auto& dst = Parameters();
+  const auto& src = other.Parameters();
   if (dst.size() != src.size()) {
     return Status::InvalidArgument("parameter count mismatch");
   }
@@ -68,19 +100,31 @@ Status Network::CopyParametersFrom(Network& other) {
     if (!dst[i]->SameShape(*src[i])) {
       return Status::InvalidArgument("parameter shape mismatch");
     }
-    *dst[i] = *src[i];
+    dst[i]->CopyFrom(*src[i]);
   }
   return Status::OK();
 }
 
 Status Network::AccumulateGradientsFrom(Network& other) {
-  auto dst = Gradients();
-  auto src = other.Gradients();
+  const auto& dst = Gradients();
+  const auto& src = other.Gradients();
   if (dst.size() != src.size()) {
     return Status::InvalidArgument("gradient count mismatch");
   }
   for (size_t i = 0; i < dst.size(); ++i) {
     DMLSCALE_RETURN_NOT_OK(dst[i]->AddInPlace(*src[i]));
+  }
+  return Status::OK();
+}
+
+Status Network::AccumulateScaledGradientsFrom(Network& other, double weight) {
+  const auto& dst = Gradients();
+  const auto& src = other.Gradients();
+  if (dst.size() != src.size()) {
+    return Status::InvalidArgument("gradient count mismatch");
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    DMLSCALE_RETURN_NOT_OK(dst[i]->AddScaledInPlace(*src[i], weight));
   }
   return Status::OK();
 }

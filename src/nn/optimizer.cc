@@ -12,8 +12,8 @@ SgdOptimizer::SgdOptimizer(double learning_rate)
 Status SgdOptimizer::Step(Network* network, double scale) {
   if (network == nullptr) return Status::InvalidArgument("null network");
   if (scale <= 0.0) return Status::InvalidArgument("scale must be > 0");
-  auto params = network->Parameters();
-  auto grads = network->Gradients();
+  const auto& params = network->Parameters();
+  const auto& grads = network->Gradients();
   if (params.size() != grads.size()) {
     return Status::Internal("parameter/gradient arity mismatch");
   }
@@ -38,8 +38,8 @@ MomentumOptimizer::MomentumOptimizer(double learning_rate, double momentum)
 Status MomentumOptimizer::Step(Network* network, double scale) {
   if (network == nullptr) return Status::InvalidArgument("null network");
   if (scale <= 0.0) return Status::InvalidArgument("scale must be > 0");
-  auto params = network->Parameters();
-  auto grads = network->Gradients();
+  const auto& params = network->Parameters();
+  const auto& grads = network->Gradients();
   if (params.size() != grads.size()) {
     return Status::Internal("parameter/gradient arity mismatch");
   }

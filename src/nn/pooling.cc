@@ -1,6 +1,6 @@
 #include "nn/pooling.h"
 
-#include <limits>
+#include <algorithm>
 
 namespace dmlscale::nn {
 
@@ -17,74 +17,92 @@ MaxPool2dLayer::MaxPool2dLayer(int64_t window, int64_t input_side,
   DMLSCALE_CHECK_GT(output_side_, 0);
 }
 
-Result<Tensor> MaxPool2dLayer::Forward(const Tensor& input) {
+Status MaxPool2dLayer::ForwardInto(const Tensor& input, Tensor* output) {
   if (input.rank() != 4 || input.dim(1) != depth_ ||
       input.dim(2) != input_side_ || input.dim(3) != input_side_) {
     return Status::InvalidArgument("maxpool2d: bad input shape");
   }
-  last_input_ = input;
+  last_input_shape_ = input.shape();
   int64_t batch = input.dim(0);
-  Tensor output({batch, depth_, output_side_, output_side_});
-  argmax_.assign(static_cast<size_t>(output.size()), 0);
-  for (int64_t b = 0; b < batch; ++b) {
-    for (int64_t d = 0; d < depth_; ++d) {
-      for (int64_t orow = 0; orow < output_side_; ++orow) {
-        for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
-          double best = -std::numeric_limits<double>::infinity();
-          int64_t best_idx = -1;
-          for (int64_t wr = 0; wr < window_; ++wr) {
-            for (int64_t wc = 0; wc < window_; ++wc) {
-              int64_t idx = input.Index4(b, d, orow * window_ + wr,
-                                         ocol * window_ + wc);
-              if (input[idx] > best) {
-                best = input[idx];
-                best_idx = idx;
-              }
-            }
+  output->ResizeTo({batch, depth_, output_side_, output_side_});
+  argmax_.assign(static_cast<size_t>(output->size()), 0);
+  const int64_t side = input_side_;
+  const double* in = input.data();
+  double* out = output->data();
+  int64_t out_idx = 0;
+  for (int64_t bd = 0; bd < batch * depth_; ++bd) {
+    const double* plane = in + bd * side * side;
+    int64_t plane_base = bd * side * side;
+    for (int64_t orow = 0; orow < output_side_; ++orow) {
+      for (int64_t ocol = 0; ocol < output_side_; ++ocol) {
+        const int64_t row0 = orow * window_;
+        const int64_t col0 = ocol * window_;
+        double best = plane[row0 * side + col0];
+        int64_t best_off = row0 * side + col0;
+        for (int64_t wr = 0; wr < window_; ++wr) {
+          const int64_t row_off = (row0 + wr) * side + col0;
+          for (int64_t wc = 0; wc < window_; ++wc) {
+            double v = plane[row_off + wc];
+            // Selects, not branches; strict > keeps the first maximum,
+            // matching the scalar reference.
+            bool better = v > best;
+            best = better ? v : best;
+            best_off = better ? row_off + wc : best_off;
           }
-          int64_t out_idx = output.Index4(b, d, orow, ocol);
-          output[out_idx] = best;
-          argmax_[static_cast<size_t>(out_idx)] = best_idx;
         }
+        out[out_idx] = best;
+        argmax_[static_cast<size_t>(out_idx)] = plane_base + best_off;
+        ++out_idx;
       }
     }
   }
-  return output;
+  return Status::OK();
 }
 
-Result<Tensor> MaxPool2dLayer::Backward(const Tensor& grad_output) {
-  if (last_input_.size() == 0) {
+Status MaxPool2dLayer::BackwardInto(const Tensor& grad_output,
+                                    Tensor* grad_input) {
+  if (last_input_shape_.empty()) {
     return Status::FailedPrecondition("Backward before Forward");
   }
   if (grad_output.rank() != 4 ||
       grad_output.size() != static_cast<int64_t>(argmax_.size())) {
     return Status::InvalidArgument("maxpool2d: bad grad_output shape");
   }
-  Tensor grad_input(last_input_.shape());
+  grad_input->ResizeTo(last_input_shape_);
+  grad_input->Zero();
   for (int64_t i = 0; i < grad_output.size(); ++i) {
-    grad_input[argmax_[static_cast<size_t>(i)]] += grad_output[i];
+    (*grad_input)[argmax_[static_cast<size_t>(i)]] += grad_output[i];
   }
-  return grad_input;
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> MaxPool2dLayer::Clone() const {
   return std::make_unique<MaxPool2dLayer>(window_, input_side_, depth_);
 }
 
-Result<Tensor> FlattenLayer::Forward(const Tensor& input) {
+Status FlattenLayer::ForwardInto(const Tensor& input, Tensor* output) {
   if (input.rank() < 2) {
     return Status::InvalidArgument("flatten: rank must be >= 2");
   }
   last_shape_ = input.shape();
   int64_t batch = input.dim(0);
-  return input.Reshape({batch, input.size() / batch});
+  output->ResizeTo({batch, batch > 0 ? input.size() / batch : 0});
+  std::copy(input.data(), input.data() + input.size(), output->data());
+  return Status::OK();
 }
 
-Result<Tensor> FlattenLayer::Backward(const Tensor& grad_output) {
+Status FlattenLayer::BackwardInto(const Tensor& grad_output,
+                                  Tensor* grad_input) {
   if (last_shape_.empty()) {
     return Status::FailedPrecondition("Backward before Forward");
   }
-  return grad_output.Reshape(last_shape_);
+  if (grad_output.size() != Tensor::Volume(last_shape_)) {
+    return Status::InvalidArgument("flatten: grad size mismatch");
+  }
+  grad_input->ResizeTo(last_shape_);
+  std::copy(grad_output.data(), grad_output.data() + grad_output.size(),
+            grad_input->data());
+  return Status::OK();
 }
 
 std::unique_ptr<Layer> FlattenLayer::Clone() const {

@@ -2,6 +2,7 @@
 #define DMLSCALE_NN_POOLING_H_
 
 #include <memory>
+#include <vector>
 
 #include "nn/layer.h"
 
@@ -10,13 +11,15 @@ namespace dmlscale::nn {
 /// 2D max pooling over {batch, depth, side, side} inputs with a square
 /// window and equal stride (non-overlapping). Pooling layers carry no
 /// weights — the paper's cost model ignores them, and so do the runtime
-/// op counters here.
+/// op counters here. The window scan uses branch-free selects; backward
+/// routes gradients through the recorded argmax without touching the
+/// cached input values (only its shape is kept).
 class MaxPool2dLayer final : public Layer {
  public:
   MaxPool2dLayer(int64_t window, int64_t input_side, int64_t depth);
 
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "maxpool2d"; }
   std::unique_ptr<Layer> Clone() const override;
 
@@ -27,7 +30,8 @@ class MaxPool2dLayer final : public Layer {
   int64_t input_side_;
   int64_t depth_;
   int64_t output_side_;
-  Tensor last_input_;
+  /// Shape of the last forward input (backward only needs the geometry).
+  std::vector<int64_t> last_input_shape_;
   /// Flat index of the argmax for each output cell, for backprop routing.
   std::vector<int64_t> argmax_;
 };
@@ -36,8 +40,8 @@ class MaxPool2dLayer final : public Layer {
 /// connecting convolutional stacks to dense classifiers.
 class FlattenLayer final : public Layer {
  public:
-  Result<Tensor> Forward(const Tensor& input) override;
-  Result<Tensor> Backward(const Tensor& grad_output) override;
+  Status ForwardInto(const Tensor& input, Tensor* output) override;
+  Status BackwardInto(const Tensor& grad_output, Tensor* grad_input) override;
   std::string name() const override { return "flatten"; }
   std::unique_ptr<Layer> Clone() const override;
 

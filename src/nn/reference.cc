@@ -1,0 +1,186 @@
+#include "nn/reference.h"
+
+#include "common/check.h"
+
+namespace dmlscale::nn::reference {
+
+using kernels::Trans;
+
+void NaiveGemm(Trans trans_a, Trans trans_b, int64_t m, int64_t n, int64_t k,
+               double alpha, const double* a, int64_t lda, const double* b,
+               int64_t ldb, double beta, double* c, int64_t ldc) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t p = 0; p < k; ++p) {
+        double av = trans_a == Trans::kNo ? a[i * lda + p] : a[p * lda + i];
+        double bv = trans_b == Trans::kNo ? b[p * ldb + j] : b[j * ldb + p];
+        acc += av * bv;
+      }
+      double& out = c[i * ldc + j];
+      out = beta == 0.0 ? alpha * acc : beta * out + alpha * acc;
+    }
+  }
+}
+
+Tensor NaiveDenseForward(const Tensor& input, const Tensor& weights,
+                         const Tensor& bias) {
+  int64_t batch = input.dim(0);
+  int64_t inputs = weights.dim(0);
+  int64_t outputs = weights.dim(1);
+  Tensor output({batch, outputs});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t i = 0; i < inputs; ++i) {
+      double x = input.At2(b, i);
+      const double* w_row = weights.data() + i * outputs;
+      double* out_row = output.data() + b * outputs;
+      for (int64_t o = 0; o < outputs; ++o) out_row[o] += x * w_row[o];
+    }
+    double* out_row = output.data() + b * outputs;
+    for (int64_t o = 0; o < outputs; ++o) out_row[o] += bias[o];
+  }
+  return output;
+}
+
+Tensor NaiveDenseBackward(const Tensor& input, const Tensor& weights,
+                          const Tensor& grad_output, Tensor* grad_weights,
+                          Tensor* grad_bias) {
+  int64_t batch = grad_output.dim(0);
+  int64_t inputs = weights.dim(0);
+  int64_t outputs = weights.dim(1);
+  Tensor grad_input({batch, inputs});
+  for (int64_t b = 0; b < batch; ++b) {
+    const double* go_row = grad_output.data() + b * outputs;
+    const double* in_row = input.data() + b * inputs;
+    for (int64_t i = 0; i < inputs; ++i) {
+      const double* w_row = weights.data() + i * outputs;
+      double* gw_row = grad_weights->data() + i * outputs;
+      double acc = 0.0;
+      double x = in_row[i];
+      for (int64_t o = 0; o < outputs; ++o) {
+        acc += go_row[o] * w_row[o];
+        gw_row[o] += x * go_row[o];
+      }
+      grad_input.At2(b, i) = acc;
+    }
+    for (int64_t o = 0; o < outputs; ++o) (*grad_bias)[o] += go_row[o];
+  }
+  return grad_input;
+}
+
+Tensor NaiveConvForward(const Tensor& input, const Tensor& kernels,
+                        const Tensor& bias, int64_t stride, int64_t pad) {
+  int64_t batch = input.dim(0);
+  int64_t depth = input.dim(1);
+  int64_t side = input.dim(2);
+  int64_t maps = kernels.dim(0);
+  int64_t K = kernels.dim(2);
+  int64_t out_side = (side - K + 2 * pad) / stride + 1;
+  Tensor output({batch, maps, out_side, out_side});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t m = 0; m < maps; ++m) {
+      for (int64_t orow = 0; orow < out_side; ++orow) {
+        for (int64_t ocol = 0; ocol < out_side; ++ocol) {
+          double acc = bias[m];
+          for (int64_t d = 0; d < depth; ++d) {
+            for (int64_t kr = 0; kr < K; ++kr) {
+              int64_t irow = orow * stride + kr - pad;
+              if (irow < 0 || irow >= side) continue;
+              for (int64_t kc = 0; kc < K; ++kc) {
+                int64_t icol = ocol * stride + kc - pad;
+                if (icol < 0 || icol >= side) continue;
+                acc += input[input.Index4(b, d, irow, icol)] *
+                       kernels[kernels.Index4(m, d, kr, kc)];
+              }
+            }
+          }
+          output[output.Index4(b, m, orow, ocol)] = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor NaiveConvBackward(const Tensor& input, const Tensor& kernels,
+                         const Tensor& grad_output, int64_t stride,
+                         int64_t pad, Tensor* grad_kernels,
+                         Tensor* grad_bias) {
+  int64_t batch = input.dim(0);
+  int64_t depth = input.dim(1);
+  int64_t side = input.dim(2);
+  int64_t maps = kernels.dim(0);
+  int64_t K = kernels.dim(2);
+  int64_t out_side = grad_output.dim(2);
+  Tensor grad_input({batch, depth, side, side});
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t m = 0; m < maps; ++m) {
+      for (int64_t orow = 0; orow < out_side; ++orow) {
+        for (int64_t ocol = 0; ocol < out_side; ++ocol) {
+          double go = grad_output[grad_output.Index4(b, m, orow, ocol)];
+          (*grad_bias)[m] += go;
+          for (int64_t d = 0; d < depth; ++d) {
+            for (int64_t kr = 0; kr < K; ++kr) {
+              int64_t irow = orow * stride + kr - pad;
+              if (irow < 0 || irow >= side) continue;
+              for (int64_t kc = 0; kc < K; ++kc) {
+                int64_t icol = ocol * stride + kc - pad;
+                if (icol < 0 || icol >= side) continue;
+                int64_t in_idx = input.Index4(b, d, irow, icol);
+                int64_t k_idx = kernels.Index4(m, d, kr, kc);
+                (*grad_kernels)[k_idx] += go * input[in_idx];
+                grad_input[in_idx] += go * kernels[k_idx];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_input;
+}
+
+Tensor NaiveMaxPoolForward(const Tensor& input, int64_t window,
+                           std::vector<int64_t>* argmax) {
+  int64_t batch = input.dim(0);
+  int64_t depth = input.dim(1);
+  int64_t side = input.dim(2);
+  DMLSCALE_CHECK_EQ(side % window, 0);
+  int64_t out_side = side / window;
+  Tensor output({batch, depth, out_side, out_side});
+  if (argmax != nullptr) {
+    argmax->assign(static_cast<size_t>(output.size()), 0);
+  }
+  for (int64_t b = 0; b < batch; ++b) {
+    for (int64_t d = 0; d < depth; ++d) {
+      for (int64_t orow = 0; orow < out_side; ++orow) {
+        for (int64_t ocol = 0; ocol < out_side; ++ocol) {
+          // Seed with the first window element (not -inf) so the argmax
+          // is always valid and NaN handling matches the optimized
+          // kernel exactly: a leading NaN sticks, per IEEE ordered >.
+          int64_t best_idx =
+              input.Index4(b, d, orow * window, ocol * window);
+          double best = input[best_idx];
+          for (int64_t wr = 0; wr < window; ++wr) {
+            for (int64_t wc = 0; wc < window; ++wc) {
+              int64_t idx = input.Index4(b, d, orow * window + wr,
+                                         ocol * window + wc);
+              if (input[idx] > best) {
+                best = input[idx];
+                best_idx = idx;
+              }
+            }
+          }
+          int64_t out_idx = output.Index4(b, d, orow, ocol);
+          output[out_idx] = best;
+          if (argmax != nullptr) {
+            (*argmax)[static_cast<size_t>(out_idx)] = best_idx;
+          }
+        }
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace dmlscale::nn::reference

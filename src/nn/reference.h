@@ -1,0 +1,54 @@
+#ifndef DMLSCALE_NN_REFERENCE_H_
+#define DMLSCALE_NN_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/kernels.h"
+#include "nn/tensor.h"
+
+namespace dmlscale::nn::reference {
+
+/// The pre-GEMM scalar implementations of the layer math, kept verbatim as
+/// the golden baseline: equivalence tests assert the optimized kernels in
+/// nn/kernels.h match these within 1e-9, and bench/nn_kernels measures the
+/// naive-vs-optimized speedup against them. Deliberately simple and slow —
+/// do not optimize.
+
+/// Naive triple-loop GEMM with the same signature contract as
+/// kernels::Gemm (per-element products accumulate in ascending k order).
+void NaiveGemm(kernels::Trans trans_a, kernels::Trans trans_b, int64_t m,
+               int64_t n, int64_t k, double alpha, const double* a,
+               int64_t lda, const double* b, int64_t ldb, double beta,
+               double* c, int64_t ldc);
+
+/// y = x W + b over {batch, inputs} input; W {inputs, outputs}, b
+/// {outputs}.
+Tensor NaiveDenseForward(const Tensor& input, const Tensor& weights,
+                         const Tensor& bias);
+
+/// Accumulates dense-layer gradients and returns dLoss/dInput for
+/// dLoss/dOutput = grad_output.
+Tensor NaiveDenseBackward(const Tensor& input, const Tensor& weights,
+                          const Tensor& grad_output, Tensor* grad_weights,
+                          Tensor* grad_bias);
+
+/// The original 7-deep loop nest: direct convolution of {batch, depth,
+/// side, side} input with kernels {maps, depth, K, K} and bias {maps}.
+Tensor NaiveConvForward(const Tensor& input, const Tensor& kernels,
+                        const Tensor& bias, int64_t stride, int64_t pad);
+
+/// Accumulates conv gradients and returns dLoss/dInput.
+Tensor NaiveConvBackward(const Tensor& input, const Tensor& kernels,
+                         const Tensor& grad_output, int64_t stride,
+                         int64_t pad, Tensor* grad_kernels,
+                         Tensor* grad_bias);
+
+/// Non-overlapping window max pooling; `argmax` (optional) receives the
+/// flat input index of each output cell's maximum.
+Tensor NaiveMaxPoolForward(const Tensor& input, int64_t window,
+                           std::vector<int64_t>* argmax);
+
+}  // namespace dmlscale::nn::reference
+
+#endif  // DMLSCALE_NN_REFERENCE_H_

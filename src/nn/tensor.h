@@ -13,7 +13,10 @@ namespace dmlscale::nn {
 
 /// Dense row-major tensor of doubles. Minimal by design: the neural-network
 /// substrate exists to execute real training for validating the cost
-/// models, not to compete with BLAS.
+/// models, not to compete with BLAS — but its hot paths are GEMM-backed
+/// (see nn/kernels.h) and its buffers are reusable scratch space:
+/// ResizeTo/CopyFrom keep the heap allocation, so steady-state training
+/// loops allocate nothing (verified via HeapAllocationCount()).
 class Tensor {
  public:
   /// Empty (rank-0, zero elements).
@@ -25,6 +28,13 @@ class Tensor {
   /// Tensor with explicit contents; `data.size()` must equal the shape
   /// volume.
   Tensor(std::vector<int64_t> shape, std::vector<double> data);
+
+  /// Copies count as heap allocations when they grow the destination
+  /// buffer; moves never do.
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
 
   const std::vector<int64_t>& shape() const { return shape_; }
   int64_t dim(size_t i) const { return shape_.at(i); }
@@ -53,6 +63,15 @@ class Tensor {
     return ((b * shape_[1] + ch) * shape_[2] + r) * shape_[3] + c;
   }
 
+  /// Reshapes in place, reusing the existing buffer when its capacity
+  /// suffices (the scratch-space primitive behind the Into layer API).
+  /// Element values are unspecified afterwards; callers must overwrite.
+  void ResizeTo(const std::vector<int64_t>& shape);
+
+  /// Copies shape and contents from `other`, reusing this buffer's
+  /// capacity when possible.
+  void CopyFrom(const Tensor& other);
+
   /// Sets all elements to zero.
   void Zero();
 
@@ -64,6 +83,11 @@ class Tensor {
 
   /// Elementwise a += b; fails on shape mismatch.
   Status AddInPlace(const Tensor& other);
+
+  /// Elementwise a += factor * b; fails on shape mismatch. The scaling
+  /// happens on the fly, so no temporary tensor is materialized (used by
+  /// the trainer's ordered gradient reduction).
+  Status AddScaledInPlace(const Tensor& other, double factor);
 
   /// Elementwise scale.
   void Scale(double factor);
@@ -78,6 +102,12 @@ class Tensor {
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
   static int64_t Volume(const std::vector<int64_t>& shape);
+
+  /// Process-wide count of tensor buffer acquisitions/growths (constructor
+  /// allocations, copies, and ResizeTo/CopyFrom growth beyond capacity).
+  /// Test hook for the zero-allocation-in-steady-state property: the delta
+  /// across N extra training epochs must be zero.
+  static int64_t HeapAllocationCount();
 
  private:
   std::vector<int64_t> shape_;

@@ -1,30 +1,39 @@
 #include "nn/trainer.h"
 
 #include <algorithm>
+#include <memory>
 #include <numeric>
+
+#include "common/thread_pool.h"
+#include "engine/parallel_for.h"
 
 namespace dmlscale::nn {
 
 namespace {
 
-/// Gathers the rows of `data` at `order` into a new dataset.
-Result<Dataset> Permute(const Dataset& data,
-                        const std::vector<int64_t>& order) {
+/// Gathers the rows of `data` at `order` into `*out`, reusing its buffers.
+Status PermuteInto(const Dataset& data, const std::vector<int64_t>& order,
+                   Dataset* out) {
   int64_t per_feature = data.features.size() / data.num_examples();
   int64_t per_target = data.targets.size() / data.num_examples();
-  Dataset out{Tensor(data.features.shape()), Tensor(data.targets.shape())};
+  out->features.ResizeTo(data.features.shape());
+  out->targets.ResizeTo(data.targets.shape());
   for (size_t i = 0; i < order.size(); ++i) {
     int64_t src = order[i];
-    for (int64_t j = 0; j < per_feature; ++j) {
-      out.features[static_cast<int64_t>(i) * per_feature + j] =
-          data.features[src * per_feature + j];
-    }
-    for (int64_t j = 0; j < per_target; ++j) {
-      out.targets[static_cast<int64_t>(i) * per_target + j] =
-          data.targets[src * per_target + j];
-    }
+    int64_t dst = static_cast<int64_t>(i);
+    std::copy(data.features.data() + src * per_feature,
+              data.features.data() + (src + 1) * per_feature,
+              out->features.data() + dst * per_feature);
+    std::copy(data.targets.data() + src * per_target,
+              data.targets.data() + (src + 1) * per_target,
+              out->targets.data() + dst * per_target);
   }
-  return out;
+  return Status::OK();
+}
+
+int64_t NumShards(int64_t batch_len, int64_t grain) {
+  if (grain <= 0) return 1;
+  return (batch_len + grain - 1) / grain;
 }
 
 }  // namespace
@@ -43,6 +52,12 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
+  if (options.threads < 1) {
+    return Status::InvalidArgument("threads must be >= 1");
+  }
+  if (options.shard_grain < 0) {
+    return Status::InvalidArgument("shard_grain must be >= 0");
+  }
   if (options.shuffle && rng == nullptr) {
     return Status::InvalidArgument("shuffle requires an rng");
   }
@@ -51,23 +66,124 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
   std::vector<int64_t> order(static_cast<size_t>(examples));
   std::iota(order.begin(), order.end(), 0);
 
+  // Shard boundaries depend on batch length and grain only — NOT on
+  // options.threads — so any thread count reproduces the serial result
+  // bit for bit. The largest (first) batch bounds the replica count.
+  const int64_t max_shards =
+      NumShards(std::min(options.batch_size, examples), options.shard_grain);
+  if (options.threads > 1 && max_shards <= 1) {
+    return Status::InvalidArgument(
+        "threads > 1 requires multiple gradient shards per batch, but "
+        "shard_grain=" + std::to_string(options.shard_grain) +
+        " yields one shard for batches of " +
+        std::to_string(std::min(options.batch_size, examples)) +
+        "; the request would be silently serial (set 0 < shard_grain < "
+        "batch size)");
+  }
+
+  // One-time allocations; everything below the epoch loop reuses them.
+  Dataset epoch_data{Tensor({0}), Tensor({0})};
+  Dataset batch_buf{Tensor({0}), Tensor({0})};
+  std::vector<Network> replicas;
+  std::vector<Dataset> shard_bufs;
+  std::vector<double> shard_loss;
+  std::vector<Status> shard_status;
+  std::unique_ptr<ThreadPool> pool;
+  if (max_shards > 1) {
+    replicas.reserve(static_cast<size_t>(max_shards));
+    for (int64_t s = 0; s < max_shards; ++s) {
+      replicas.push_back(network->Clone());
+    }
+    for (int64_t s = 0; s < max_shards; ++s) {
+      shard_bufs.push_back(Dataset{Tensor({0}), Tensor({0})});
+    }
+    shard_loss.assign(static_cast<size_t>(max_shards), 0.0);
+    shard_status.assign(static_cast<size_t>(max_shards), Status::OK());
+    if (options.threads > 1) {
+      pool = std::make_unique<ThreadPool>(
+          static_cast<size_t>(options.threads));
+    }
+  }
+
   TrainingHistory history;
   for (int epoch = 0; epoch < options.epochs; ++epoch) {
-    Dataset epoch_data{Tensor({0}), Tensor({0})};
     const Dataset* source = &data;
     if (options.shuffle) {
       rng->Shuffle(&order);
-      DMLSCALE_ASSIGN_OR_RETURN(epoch_data, Permute(data, order));
+      DMLSCALE_RETURN_NOT_OK(PermuteInto(data, order, &epoch_data));
       source = &epoch_data;
     }
     double loss_sum = 0.0;
     int64_t batches = 0;
     for (int64_t begin = 0; begin < examples; begin += options.batch_size) {
       int64_t end = std::min(begin + options.batch_size, examples);
-      DMLSCALE_ASSIGN_OR_RETURN(Dataset batch, source->Slice(begin, end));
-      DMLSCALE_ASSIGN_OR_RETURN(
-          double batch_loss,
-          TrainBatch(network, batch.features, batch.targets, loss, optimizer));
+      int64_t shards = NumShards(end - begin, options.shard_grain);
+      if (shards <= 1) {
+        DMLSCALE_RETURN_NOT_OK(source->CopySliceInto(begin, end, &batch_buf));
+        DMLSCALE_ASSIGN_OR_RETURN(
+            double batch_loss,
+            TrainBatch(network, batch_buf.features, batch_buf.targets, loss,
+                       optimizer));
+        loss_sum += batch_loss;
+        ++batches;
+        continue;
+      }
+
+      // Slice and broadcast on the main thread (deterministic, and the
+      // replicas' scratch stays thread-private).
+      for (int64_t s = 0; s < shards; ++s) {
+        auto range = engine::ComputeShard(begin, end,
+                                          static_cast<int>(shards),
+                                          static_cast<int>(s));
+        DMLSCALE_RETURN_NOT_OK(
+            source->CopySliceInto(range.begin, range.end,
+                                  &shard_bufs[static_cast<size_t>(s)]));
+        Network& replica = replicas[static_cast<size_t>(s)];
+        DMLSCALE_RETURN_NOT_OK(replica.CopyParametersFrom(*network));
+        replica.ZeroGradients();
+      }
+
+      auto run_shard = [&](int64_t s) {
+        Network& replica = replicas[static_cast<size_t>(s)];
+        const Dataset& shard = shard_bufs[static_cast<size_t>(s)];
+        auto result =
+            replica.ComputeGradients(shard.features, shard.targets, loss);
+        if (!result.ok()) {
+          shard_status[static_cast<size_t>(s)] = result.status();
+          return;
+        }
+        shard_status[static_cast<size_t>(s)] = Status::OK();
+        shard_loss[static_cast<size_t>(s)] = result.value();
+      };
+      if (pool != nullptr) {
+        engine::ParallelFor(pool.get(), 0, shards,
+                            static_cast<int>(shards),
+                            [&](int, int64_t s0, int64_t s1) {
+                              for (int64_t s = s0; s < s1; ++s) run_shard(s);
+                            });
+      } else {
+        for (int64_t s = 0; s < shards; ++s) run_shard(s);
+      }
+      for (int64_t s = 0; s < shards; ++s) {
+        DMLSCALE_RETURN_NOT_OK(shard_status[static_cast<size_t>(s)]);
+      }
+
+      // Ordered reduction: shard s contributes before shard s+1, weighted
+      // by its share of the batch (replica losses/gradients are averages
+      // over the shard).
+      network->ZeroGradients();
+      double batch_loss = 0.0;
+      for (int64_t s = 0; s < shards; ++s) {
+        auto range = engine::ComputeShard(begin, end,
+                                          static_cast<int>(shards),
+                                          static_cast<int>(s));
+        double weight = static_cast<double>(range.end - range.begin) /
+                        static_cast<double>(end - begin);
+        DMLSCALE_RETURN_NOT_OK(network->AccumulateScaledGradientsFrom(
+            replicas[static_cast<size_t>(s)], weight));
+        batch_loss += shard_loss[static_cast<size_t>(s)] * weight;
+      }
+      DMLSCALE_RETURN_NOT_OK(optimizer->Step(network));
       loss_sum += batch_loss;
       ++batches;
     }

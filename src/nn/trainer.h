@@ -15,11 +15,33 @@ namespace dmlscale::nn {
 /// mini-batches, and applies one optimizer step per batch — the
 /// single-node baseline whose distributed counterparts the scalability
 /// models describe.
+///
+/// Intra-batch data parallelism: with `shard_grain > 0` every mini-batch
+/// is split into ceil(len / shard_grain) fixed shards; each shard's
+/// gradients are computed on a private network replica (concurrently when
+/// `threads > 1`) and reduced into the master in ascending shard order.
+/// Because shard boundaries depend only on the batch length and the grain
+/// — never on `threads` — and the reduction order is fixed, results are
+/// bit-identical for every thread count (the same determinism discipline
+/// as the sweep engine).
+///
+/// All per-epoch buffers (shuffled copy, mini-batch/shard slices, network
+/// scratch) are allocated once and reused, so steady-state training
+/// performs zero tensor-buffer allocations — asserted in tests via
+/// Tensor::HeapAllocationCount().
 struct TrainerOptions {
   int epochs = 10;
   int64_t batch_size = 32;
   /// Shuffle example order each epoch (deterministic via the given rng).
   bool shuffle = true;
+  /// Worker threads executing gradient shards (>= 1). Affects wall-clock
+  /// only, never results. threads > 1 requires shard_grain > 0 (rejected
+  /// otherwise — a single shard per batch cannot run concurrently).
+  int threads = 1;
+  /// Examples per gradient shard; 0 = one shard per mini-batch (the
+  /// classic serial semantics). Changing the grain changes floating-point
+  /// summation order (not correctness).
+  int64_t shard_grain = 0;
 };
 
 struct TrainingHistory {

@@ -99,5 +99,29 @@ TEST(ParallelForTest, ParallelSumMatchesSequential) {
   EXPECT_EQ(total, 999 * 1000 / 2);
 }
 
+TEST(ParallelForTest, NumShardsForRangeHonorsGrainAndCap) {
+  // Plenty of elements: the cap wins.
+  EXPECT_EQ(NumShardsForRange(0, 1000, {.max_shards = 4, .min_grain = 10}),
+            4);
+  // The grain wins: 25 elements at grain 10 -> 2 shards.
+  EXPECT_EQ(NumShardsForRange(0, 25, {.max_shards = 8, .min_grain = 10}), 2);
+  // Below one grain (and the empty range) collapse to a single shard.
+  EXPECT_EQ(NumShardsForRange(0, 9, {.max_shards = 8, .min_grain = 10}), 1);
+  EXPECT_EQ(NumShardsForRange(5, 5, {.max_shards = 8, .min_grain = 10}), 1);
+}
+
+TEST(ParallelForTest, GrainedOverloadCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(100);
+  ParallelFor(&pool, 0, 100, ParallelForOptions{.max_shards = 8,
+                                                .min_grain = 16},
+              [&](int, int64_t begin, int64_t end) {
+                for (int64_t i = begin; i < end; ++i) {
+                  touched[static_cast<size_t>(i)].fetch_add(1);
+                }
+              });
+  for (auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
 }  // namespace
 }  // namespace dmlscale::engine

@@ -9,10 +9,38 @@ TEST(Conv2dLayerTest, OutputSideMatchesPaperFormula) {
   Pcg32 rng(1);
   Conv2dLayer a(3, 8, 3, 28, 1, 0, &rng);
   EXPECT_EQ(a.output_side(), 26);
-  Conv2dLayer b(3, 8, 3, 28, 2, 0, &rng);
-  EXPECT_EQ(b.output_side(), 13);  // (28-3)/2+1
+  Conv2dLayer b(3, 8, 3, 27, 2, 0, &rng);
+  EXPECT_EQ(b.output_side(), 13);  // (27-3)/2+1
   Conv2dLayer c(3, 8, 3, 28, 1, 1, &rng);
   EXPECT_EQ(c.output_side(), 28);  // same padding
+}
+
+TEST(Conv2dLayerTest, CreateRejectsGeometryThatDropsRows) {
+  Pcg32 rng(1);
+  // (28 - 3) = 25 is not a multiple of stride 2: the sliding window would
+  // silently drop the last input row/column. This used to be accepted
+  // (the output side was floored); it must now be a recoverable error.
+  auto bad = Conv2dLayer::Create(3, 8, 3, 28, 2, 0, &rng);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  // Nearby tiling geometry is accepted and behaves identically to the
+  // checked constructor.
+  auto good = Conv2dLayer::Create(3, 8, 3, 27, 2, 0, &rng);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ((*good)->output_side(), 13);
+}
+
+TEST(Conv2dLayerTest, CreateRejectsBadDimensionsAndNullRng) {
+  Pcg32 rng(1);
+  EXPECT_FALSE(Conv2dLayer::Create(0, 8, 3, 28, 1, 0, &rng).ok());
+  EXPECT_FALSE(Conv2dLayer::Create(3, 0, 3, 28, 1, 0, &rng).ok());
+  EXPECT_FALSE(Conv2dLayer::Create(3, 8, 0, 28, 1, 0, &rng).ok());
+  EXPECT_FALSE(Conv2dLayer::Create(3, 8, 3, 28, 0, 0, &rng).ok());
+  EXPECT_FALSE(Conv2dLayer::Create(3, 8, 3, 28, 1, -1, &rng).ok());
+  EXPECT_FALSE(Conv2dLayer::Create(3, 8, 3, 28, 1, 0, nullptr).ok());
+  // Kernel larger than the padded input.
+  EXPECT_FALSE(Conv2dLayer::Create(3, 8, 9, 4, 1, 0, &rng).ok());
 }
 
 TEST(Conv2dLayerTest, IdentityKernelPassesThrough) {

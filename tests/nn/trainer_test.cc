@@ -97,6 +97,23 @@ TEST(TrainerTest, RejectsBadArguments) {
   EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
                                 {.shuffle = true}, nullptr)
                    .ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.threads = 0}, &rng)
+                   .ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.shard_grain = -1}, &rng)
+                   .ok());
+  // threads > 1 with single-shard batches would silently run serially;
+  // it must be rejected instead — both as grain 0 and as a grain at
+  // least as large as the batch.
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.threads = 4, .shard_grain = 0}, &rng)
+                   .ok());
+  EXPECT_FALSE(TrainMiniBatches(&net, data, loss, &optimizer,
+                                {.batch_size = 8, .threads = 4,
+                                 .shard_grain = 1000},
+                                &rng)
+                   .ok());
   Dataset empty{Tensor({0, 3}), Tensor({0, 2})};
   EXPECT_FALSE(
       TrainMiniBatches(&net, empty, loss, &optimizer, {}, &rng).ok());
