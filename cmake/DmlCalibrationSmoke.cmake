@@ -1,0 +1,41 @@
+# Determinism smoke for the calibration demo driver:
+#   cmake -DDRIVER=<fig2_calibration binary> -P DmlCalibrationSmoke.cmake
+# Runs the driver TWICE and asserts (a) zero exit codes, (b) table output,
+# (c) byte-identical stdout, and (d) the fitted-coefficients line. The
+# byte-identity is the acceptance contract of the measured workloads'
+# work-clock: samples are pure functions of (options, nodes), so the whole
+# calibration table must reproduce exactly.
+if(NOT DRIVER)
+  message(FATAL_ERROR "DmlCalibrationSmoke.cmake requires -DDRIVER=<binary>")
+endif()
+
+execute_process(COMMAND ${DRIVER}
+  RESULT_VARIABLE rc1 OUTPUT_VARIABLE out1 ERROR_VARIABLE err1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR
+    "${DRIVER} (run 1) exited with ${rc1}\nstdout:\n${out1}\nstderr:\n${err1}")
+endif()
+
+# Second run with a different thread count: neither reruns nor threads may
+# change a byte of the output.
+execute_process(COMMAND ${DRIVER} --threads=2
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2 ERROR_VARIABLE err2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR
+    "${DRIVER} (run 2) exited with ${rc2}\nstdout:\n${out2}\nstderr:\n${err2}")
+endif()
+
+if(NOT out1 MATCHES "----")
+  message(FATAL_ERROR "${DRIVER} produced no table output\nstdout:\n${out1}")
+endif()
+if(NOT out1 MATCHES "Fitted coefficients: compute x")
+  message(FATAL_ERROR
+    "${DRIVER} printed no fitted coefficients\nstdout:\n${out1}")
+endif()
+if(NOT out1 STREQUAL out2)
+  message(FATAL_ERROR
+    "${DRIVER} output differs between runs (calibration must be "
+    "deterministic and thread-count independent)\n--- run 1:\n${out1}\n"
+    "--- run 2 (--threads=2):\n${out2}")
+endif()
+message(STATUS "calibration-smoke OK: byte-identical across runs/threads")

@@ -3,15 +3,19 @@
 // for the convergence penalties each strategy pays — large effective
 // batches for sync, gradient staleness for async.
 //
+// The synchronous strong-scaling question at the end goes through the
+// dmlscale::api facade (scenario declaration + Analysis::Run answering the
+// paper's Q1); the async models extend beyond the BSP facade and stay on
+// models::AsyncGdModel.
+//
 //   ./async_training_study [--features=1e7] [--batch=1000]
 
 #include <iostream>
 
+#include "api/api.h"
 #include "common/arg_parser.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
-#include "core/cost.h"
-#include "core/superstep.h"
 #include "models/async_gd.h"
 #include "sim/param_server.h"
 
@@ -23,13 +27,22 @@ int main(int argc, char** argv) {
     std::cerr << args.status() << "\n";
     return 1;
   }
+  if (Status status = args->CheckKnown({"features", "batch", "help"});
+      !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (args->GetBool("help", false)) {
+    std::cout << "Flags: --features --batch\n";
+    return 0;
+  }
   // A click-through-rate style logistic regression: wide and sparse-ish.
   double features = args->GetDouble("features", 1e7);
   double batch = args->GetDouble("batch", 1000.0);
   models::GdWorkload workload =
       models::LogisticRegressionWorkload(features, batch, 32.0);
   core::NodeSpec node{.name = "worker", .peak_flops = 50e9, .efficiency = 0.8};
-  core::LinkSpec link{.bandwidth_bps = 10e9};
+  core::LinkSpec link = api::presets::TenGigabitEthernet();
 
   models::WeakScalingSgdModel sync_model(workload, node, link);
   models::AsyncGdModel async_model(workload, node, link);
@@ -76,25 +89,48 @@ int main(int argc, char** argv) {
             << FormatDouble(async_model.ThroughputUpdatesPerSec(16), 4)
             << "; staleness " << FormatDouble(stats->mean_staleness, 4)
             << " vs model "
-            << FormatDouble(async_model.ExpectedStaleness(16), 4) << "\n";
+            << FormatDouble(async_model.ExpectedStaleness(16), 4) << "\n\n";
 
-  // And a budget angle using the cost module: for the strong-scaling
-  // (fixed total batch) variant of this job, what is the cheapest cluster
-  // that still halves the single-node iteration time?
+  // The strong-scaling (fixed total batch) variant of this job, as a
+  // facade scenario: the paper's generic GD model is perfectly parallel
+  // computation plus a two-round tree exchange of the 32-bit gradient.
+  // Analysis::Run answers Q1 — the machines needed to halve the
+  // single-node iteration time — alongside the curve.
   models::GdWorkload big_batch = workload;
   big_batch.batch_size = batch * 64.0;
-  models::GenericGdModel strong(big_batch, node, link);
-  auto cheapest =
-      core::CheapestWithinDeadline(strong, 64, strong.Seconds(1) / 2.0);
-  if (cheapest.ok()) {
-    std::cout << "Cheapest strong-scaling config that halves the "
+  auto scenario =
+      api::Scenario::Builder()
+          .Name("ctr-strong-scaling")
+          .Hardware(node)
+          .Link(link)
+          .MaxNodes(64)
+          .Compute("perfectly-parallel",
+                   {{"total_flops",
+                     big_batch.ops_per_example * big_batch.batch_size}})
+          .Comm("tree", {{"bits", big_batch.MessageBits()}, {"rounds", 2}})
+          .Build();
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
+    return 1;
+  }
+  api::AnalysisOptions options;
+  options.target_speedup = 2.0;  // halve the single-node iteration time
+  options.current_nodes = 1;
+  auto report = api::Analysis::Run(*scenario, options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  api::PrintReport(*report, std::cout);
+  if (report->speedup_answer.has_value() &&
+      report->speedup_answer->achievable) {
+    int n = report->speedup_answer->nodes;
+    std::cout << "Smallest strong-scaling cluster that halves the "
                  "single-node iteration time: "
-              << cheapest.value() << " workers ("
-              << FormatDouble(strong.Seconds(cheapest.value()), 4)
-              << " s vs " << FormatDouble(strong.Seconds(1), 4) << " s)\n";
+              << n << " workers (" << FormatDouble(scenario->Seconds(n), 4)
+              << " s vs " << FormatDouble(scenario->Seconds(1), 4) << " s)\n";
   } else {
-    std::cout << "No cluster within 64 workers halves the iteration time: "
-              << cheapest.status().message() << "\n";
+    std::cout << "No cluster within 64 workers halves the iteration time.\n";
   }
   return 0;
 }

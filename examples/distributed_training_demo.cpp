@@ -1,19 +1,19 @@
 // Distributed-training demo: executes REAL data-parallel gradient descent
 // (the execution pattern the Section IV-A model describes) with the
 // in-process engine, shows that the parallel update is identical to
-// sequential batch GD, and then uses the simulator to predict what the
-// same job would cost on an actual cluster.
+// sequential batch GD, and then asks the dmlscale::api facade what the
+// same job would cost on an actual cluster (analytic model + discrete-
+// event simulator behind one Analysis::Run call).
 //
 //   ./distributed_training_demo [--workers=4] [--examples=256]
 
 #include <iostream>
 
-#include "common/string_util.h"
+#include "api/api.h"
 #include "common/arg_parser.h"
+#include "common/string_util.h"
 #include "common/table_printer.h"
 #include "engine/dp_sgd.h"
-#include "models/gradient_descent.h"
-#include "sim/workloads.h"
 
 using namespace dmlscale;  // NOLINT: example brevity
 
@@ -22,6 +22,15 @@ int main(int argc, char** argv) {
   if (!args.ok()) {
     std::cerr << args.status() << "\n";
     return 1;
+  }
+  if (Status status = args->CheckKnown({"workers", "examples", "help"});
+      !status.ok()) {
+    std::cerr << status << "\n";
+    return 1;
+  }
+  if (args->GetBool("help", false)) {
+    std::cout << "Flags: --workers --examples\n";
+    return 0;
   }
   int workers = static_cast<int>(args->GetInt("workers", 4));
   int64_t examples = args->GetInt("examples", 256);
@@ -61,38 +70,38 @@ int main(int argc, char** argv) {
                "the same updates\nas sequential batch GD — parallelism "
                "changes time, not semantics.\n\n";
 
-  // What would this cost on a real cluster? Ask the models + simulator.
+  // What would this cost on a real cluster? One scenario declaration, one
+  // Analysis::Run: the analytic curve plus the discrete-event cross-check
+  // with Spark-like framework overheads.
   double ops = static_cast<double>(2 * master.ForwardMultiplyAddsPerExample())
                * 3.0;  // training ~ 3x forward, ops convention
-  models::GdWorkload workload{
-      .ops_per_example = ops,
-      .batch_size = static_cast<double>(examples),
-      .model_params = static_cast<double>(master.WeightCount()),
-      .bits_per_param = 64.0};
-  core::NodeSpec node = core::presets::XeonE3_1240Double();
-  core::LinkSpec link{.bandwidth_bps = 1e9};
-  models::GenericGdModel model(workload, node, link);
-  sim::GdSimConfig config{
-      .total_ops = workload.ops_per_example * workload.batch_size,
-      .message_bits = workload.MessageBits(),
-      .node = node,
-      .link = link,
-      .overhead = sim::OverheadModel::SparkLike(),
-      .iterations = 3};
-
-  std::cout << "Cluster projection for this job (model vs simulator):\n";
-  TablePrinter projection({"n", "model t(n) s", "simulated t(n) s"});
-  Pcg32 sim_rng(3);
-  for (int n : {1, 2, 4, 8, 16}) {
-    auto sim_t = sim::SimulateSparkGdIteration(config, n, &sim_rng);
-    if (!sim_t.ok()) {
-      std::cerr << sim_t.status() << "\n";
-      return 1;
-    }
-    projection.AddRow({std::to_string(n), FormatDouble(model.Seconds(n), 6),
-                       FormatDouble(sim_t.value(), 6)});
+  double weights = static_cast<double>(master.WeightCount());
+  auto scenario =
+      api::Scenario::Builder()
+          .Name("dp-sgd-job")
+          .Hardware(api::presets::XeonE3_1240Double())
+          .Link(api::presets::GigabitEthernet())
+          .MaxNodes(16)
+          .Compute("perfectly-parallel",
+                   {{"total_flops", ops * static_cast<double>(examples)}})
+          .Comm("spark-gd", {{"bits", 64.0 * weights}})
+          .Build();
+  if (!scenario.ok()) {
+    std::cerr << scenario.status() << "\n";
+    return 1;
   }
-  projection.Print(std::cout);
+  api::AnalysisOptions options;
+  options.simulate = true;
+  options.overhead = sim::OverheadModel::SparkLike();
+  options.sim_seed = 3;
+  auto report = api::Analysis::Run(*scenario, options);
+  if (!report.ok()) {
+    std::cerr << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "Cluster projection for this job (analytic model + "
+               "simulated cluster):\n";
+  api::PrintReport(*report, std::cout);
   std::cout << "This tiny network is communication-bound immediately — the "
                "model says\nDO NOT distribute it, which is exactly the kind "
                "of back-of-the-envelope\nconclusion the paper advocates "

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/calibration.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -153,6 +154,9 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
 
   AnalysisReport report;
   report.scenario_name = scenario.name();
+  report.compute_coefficient = scenario.compute_coefficient();
+  report.comm_coefficient = scenario.comm_coefficient();
+  report.calibrated = scenario.calibrated();
   DMLSCALE_ASSIGN_OR_RETURN(
       report.curve, core::SpeedupAnalyzer::Compute(model, max_nodes,
                                                    options.reference_n));
@@ -191,6 +195,17 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
     report.simulated = std::move(simulated);
     report.model_vs_sim_mape = delta.mape;
   }
+
+  if (options.measured_samples != nullptr) {
+    // MAPE on predicted vs measured TIMES (the paper's comparison metric),
+    // through the same cached time functions as everything above.
+    core::FunctionModel cached_model(
+        [&times](int n) { return times.Seconds(n); }, scenario.name());
+    DMLSCALE_ASSIGN_OR_RETURN(
+        double mape, MapeVsSamples(cached_model, *options.measured_samples));
+    report.measured = *options.measured_samples;
+    report.model_vs_measured_mape = mape;
+  }
   return report;
 }
 
@@ -198,6 +213,7 @@ void PrintReport(const AnalysisReport& report, std::ostream& os) {
   os << "== Scenario: " << report.scenario_name << " ==\n";
   std::vector<std::string> headers{"n", "speedup", "efficiency"};
   if (report.simulated.has_value()) headers.push_back("simulated_speedup");
+  if (!report.measured.empty()) headers.push_back("measured_s");
   TablePrinter table(headers);
   std::vector<double> efficiency = report.curve.Efficiency();
   for (size_t i = 0; i < report.curve.nodes.size(); ++i) {
@@ -208,10 +224,29 @@ void PrintReport(const AnalysisReport& report, std::ostream& os) {
       auto s = report.simulated->At(report.curve.nodes[i]);
       row.push_back(s.ok() ? FormatDouble(s.value(), 4) : "n/a");
     }
+    if (!report.measured.empty()) {
+      std::string cell = "n/a";
+      for (const core::TimingSample& sample : report.measured) {
+        if (sample.nodes == report.curve.nodes[i]) {
+          cell = FormatDouble(sample.seconds, 6);
+          break;
+        }
+      }
+      row.push_back(std::move(cell));
+    }
     table.AddRow(std::move(row));
   }
   table.Print(os);
 
+  if (report.calibrated) {
+    os << "Calibrated coefficients: compute x"
+       << FormatDouble(report.compute_coefficient, 4) << ", comm x"
+       << FormatDouble(report.comm_coefficient, 4) << "\n";
+  }
+  if (report.model_vs_measured_mape.has_value()) {
+    os << "Model vs measured MAPE: "
+       << FormatDouble(*report.model_vs_measured_mape, 3) << "%\n";
+  }
   os << "t(reference) = " << FormatDouble(report.reference_seconds, 4)
      << " s; optimal nodes = " << report.optimal_nodes << " (peak speedup "
      << FormatDouble(report.peak_speedup, 4) << ", first local peak at "

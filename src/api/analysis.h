@@ -6,9 +6,12 @@
 #include <ostream>
 #include <string>
 
+#include <vector>
+
 #include "api/scenario.h"
 #include "common/memo_cache.h"
 #include "common/status.h"
+#include "core/calibration.h"
 #include "core/speedup.h"
 #include "sim/overhead.h"
 
@@ -59,6 +62,14 @@ struct AnalysisOptions {
   /// everything else sharing the cache MUST be named distinctly (mind the
   /// builder's default name!); unnamed scenarios are rejected.
   MemoCache* eval_cache = nullptr;
+
+  /// Measured timing samples to compare the scenario against (not owned;
+  /// nullptr = no comparison) — typically `CalibratedScenario::samples`.
+  /// Adds the measured-seconds column to PrintReport and the
+  /// model-vs-measured MAPE to the report, for both the a-priori and the
+  /// calibrated scenario (the drop between the two is the value of the
+  /// feedback loop).
+  const std::vector<core::TimingSample>* measured_samples = nullptr;
 };
 
 /// One capacity-planning answer; `achievable` is false when no node count
@@ -92,6 +103,18 @@ struct AnalysisReport {
   std::optional<core::SpeedupCurve> simulated;
   /// MAPE between analytic and simulated speedups, percent.
   std::optional<double> model_vs_sim_mape;
+
+  /// The scenario's calibration coefficients (both 1.0 until a scenario
+  /// has been through api::Calibrate / Builder::WithCalibration).
+  double compute_coefficient = 1.0;
+  double comm_coefficient = 1.0;
+  bool calibrated = false;
+
+  /// Present when options.measured_samples was set: the samples echoed
+  /// back (for table rendering) and the MAPE of the scenario's predicted
+  /// times against them, percent.
+  std::vector<core::TimingSample> measured;
+  std::optional<double> model_vs_measured_mape;
 };
 
 /// The unified front door: speedup analysis, capacity planning, and the

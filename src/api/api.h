@@ -3,13 +3,16 @@
 
 /// Umbrella header for the dmlscale public facade: build a Scenario
 /// declaratively (hardware presets + registry-selected models), then ask
-/// Analysis for speedup curves, capacity plans, and simulator cross-checks.
-/// See src/api/README.md for a tour and the extension points.
+/// Analysis for speedup curves, capacity plans, and simulator cross-checks
+/// — or close the loop with a Workload and Calibrate the scenario against
+/// measured runs. See src/api/README.md for a tour and extension points.
 
-#include "api/analysis.h"   // IWYU pragma: export
-#include "api/params.h"     // IWYU pragma: export
-#include "api/presets.h"    // IWYU pragma: export
-#include "api/registry.h"   // IWYU pragma: export
-#include "api/scenario.h"   // IWYU pragma: export
+#include "api/analysis.h"     // IWYU pragma: export
+#include "api/calibration.h"  // IWYU pragma: export
+#include "api/params.h"       // IWYU pragma: export
+#include "api/presets.h"      // IWYU pragma: export
+#include "api/registry.h"     // IWYU pragma: export
+#include "api/scenario.h"     // IWYU pragma: export
+#include "api/workload.h"     // IWYU pragma: export
 
 #endif  // DMLSCALE_API_API_H_

@@ -1,0 +1,95 @@
+#include "api/calibration.h"
+
+#include <cmath>
+#include <utility>
+
+namespace dmlscale::api {
+
+Result<CalibratedScenario> Calibrate(const Scenario& scenario,
+                                     Workload* workload,
+                                     const CalibrationOptions& options) {
+  if (workload == nullptr) return Status::InvalidArgument("null workload");
+  if (options.node_schedule.empty()) {
+    return Status::InvalidArgument("empty node schedule");
+  }
+  for (int n : options.node_schedule) {
+    if (n < 1) {
+      return Status::InvalidArgument("node schedule entries must be >= 1");
+    }
+  }
+
+  DMLSCALE_ASSIGN_OR_RETURN(
+      std::vector<core::TimingSample> samples,
+      workload->MeasureSchedule(options.node_schedule));
+
+  // Basis terms are the scenario's CURRENT decomposition (existing
+  // coefficients included), so re-calibration composes multiplicatively.
+  auto compute_term = [&scenario](int n) { return scenario.ComputeSeconds(n); };
+  auto comm_term = [&scenario](int n) { return scenario.CommSeconds(n); };
+
+  // A shared-memory (or otherwise comm-free) scenario has a zero comm
+  // column; fitting it would make the normal matrix singular. Fit the
+  // compute coefficient alone and leave comm at 1.
+  bool comm_is_zero = true;
+  for (int n : options.node_schedule) {
+    if (comm_term(n) != 0.0) {
+      comm_is_zero = false;
+      break;
+    }
+  }
+
+  core::CalibrationResult fit;
+  double compute_coefficient = 1.0;
+  double comm_coefficient = 1.0;
+  if (comm_is_zero) {
+    DMLSCALE_ASSIGN_OR_RETURN(fit,
+                              core::FitLinearModel({compute_term}, samples));
+    compute_coefficient = fit.coefficients[0];
+  } else {
+    DMLSCALE_ASSIGN_OR_RETURN(
+        fit, core::FitLinearModel({compute_term, comm_term}, samples));
+    compute_coefficient = fit.coefficients[0];
+    comm_coefficient = fit.coefficients[1];
+  }
+
+  // OLS can return a non-positive coefficient when the schedule cannot
+  // separate the terms (e.g. all samples in one regime). A scenario with a
+  // negative term predicts negative times — refuse instead.
+  if (!std::isfinite(compute_coefficient) || compute_coefficient <= 0.0 ||
+      !std::isfinite(comm_coefficient) || comm_coefficient <= 0.0) {
+    return Status::FailedPrecondition(
+        "degenerate fit for scenario '" + scenario.name() +
+        "': coefficients (compute=" + std::to_string(compute_coefficient) +
+        ", comm=" + std::to_string(comm_coefficient) +
+        ") are not all positive; widen the node schedule so both the "
+        "compute-heavy and comm-heavy regimes are sampled");
+  }
+
+  return CalibratedScenario{
+      .scenario = scenario.Calibrated(compute_coefficient, comm_coefficient),
+      .compute_coefficient = compute_coefficient,
+      .comm_coefficient = comm_coefficient,
+      .comm_fitted = !comm_is_zero,
+      .fit = std::move(fit),
+      .samples = std::move(samples),
+      .workload_name = workload->name()};
+}
+
+Result<double> MapeVsSamples(const core::AlgorithmModel& model,
+                             const std::vector<core::TimingSample>& samples) {
+  if (samples.empty()) return Status::InvalidArgument("no samples");
+  double sum = 0.0;
+  for (const core::TimingSample& sample : samples) {
+    if (sample.nodes < 1) {
+      return Status::InvalidArgument("sample nodes must be >= 1");
+    }
+    if (!(sample.seconds > 0.0)) {
+      return Status::InvalidArgument("sample times must be positive");
+    }
+    sum += std::fabs(model.Seconds(sample.nodes) - sample.seconds) /
+           sample.seconds;
+  }
+  return 100.0 * sum / static_cast<double>(samples.size());
+}
+
+}  // namespace dmlscale::api

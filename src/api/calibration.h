@@ -1,0 +1,77 @@
+#ifndef DMLSCALE_API_CALIBRATION_H_
+#define DMLSCALE_API_CALIBRATION_H_
+
+#include <string>
+#include <vector>
+
+#include "api/scenario.h"
+#include "api/workload.h"
+#include "common/status.h"
+#include "core/calibration.h"
+
+namespace dmlscale::api {
+
+/// The paper's Section VI feedback loop as one facade call: run a workload
+/// at a small node schedule, fit the scenario's compute/comm coefficients
+/// to the measured samples (`core::FitLinearModel`), and hand back a
+/// calibrated twin of the scenario that plugs into `Analysis::Run`,
+/// `SweepGrid`, and everything else a Scenario can do.
+struct CalibrationOptions {
+  /// Node counts to measure — the cheap probe runs. Two coefficients need
+  /// at least two DISTINCT counts (one suffices when the scenario's comm
+  /// term is identically zero, e.g. shared memory); spread the schedule so
+  /// the compute-heavy (small n) and comm-heavy (large n) regimes are both
+  /// represented, or the fit extrapolates badly.
+  std::vector<int> node_schedule = {1, 2, 4, 8};
+};
+
+/// A fitted scenario plus everything the fit was made of.
+struct CalibratedScenario {
+  /// The input scenario with fitted coefficients applied; named
+  /// "<input name>+calibrated".
+  Scenario scenario;
+
+  /// Fitted multipliers on the a-priori compute / comm terms. Compute 1.25
+  /// = the machine reaches only 80% of the assumed effective FLOPS; comm
+  /// 0.8 = the collective beats the closed form by 20%.
+  double compute_coefficient = 1.0;
+  double comm_coefficient = 1.0;
+  /// False when the comm term was identically zero on the schedule (shared
+  /// memory): only the compute coefficient was fitted and
+  /// `comm_coefficient` stays 1.
+  bool comm_fitted = true;
+
+  /// Raw fit diagnostics (rmse in seconds, r_squared).
+  core::CalibrationResult fit;
+
+  /// The measured samples the fit consumed, in schedule order. Feed them to
+  /// `AnalysisOptions::measured_samples` for the MAPE-vs-measured column.
+  std::vector<core::TimingSample> samples;
+
+  /// Name of the workload that produced the samples.
+  std::string workload_name;
+};
+
+/// Measures `workload` at `options.node_schedule`, fits the coefficients of
+/// `scenario`'s compute/comm decomposition, and returns the calibrated
+/// scenario. Fails when the schedule is invalid, a measurement fails, the
+/// fit is singular (see core::FitLinearModel's preconditions), or a fitted
+/// coefficient is not positive (a degenerate basis/schedule combination —
+/// widen the schedule).
+///
+/// Calibrating an already-calibrated scenario fits multipliers ON TOP of
+/// its existing coefficients (the basis terms include them).
+Result<CalibratedScenario> Calibrate(const Scenario& scenario,
+                                     Workload* workload,
+                                     const CalibrationOptions& options = {});
+
+/// Mean absolute percentage error (in %) of `model`'s predicted times
+/// against measured samples — the number the paper reports when comparing
+/// a model with cluster measurements. Fails on empty or non-positive
+/// samples.
+Result<double> MapeVsSamples(const core::AlgorithmModel& model,
+                             const std::vector<core::TimingSample>& samples);
+
+}  // namespace dmlscale::api
+
+#endif  // DMLSCALE_API_CALIBRATION_H_

@@ -1,22 +1,39 @@
 #include "api/scenario.h"
 
+#include <cmath>
 #include <utility>
 
 #include "api/registry.h"
+#include "common/check.h"
 #include "core/computation_model.h"
 
 namespace dmlscale::api {
 
 double Scenario::Seconds(int n) const {
-  return static_cast<double>(supersteps_) * step_->Seconds(n);
+  return ComputeSeconds(n) + CommSeconds(n);
 }
 
 double Scenario::ComputeSeconds(int n) const {
-  return static_cast<double>(supersteps_) * step_->ComputeSeconds(n);
+  return compute_coefficient_ * static_cast<double>(supersteps_) *
+         step_->ComputeSeconds(n);
 }
 
 double Scenario::CommSeconds(int n) const {
-  return static_cast<double>(supersteps_) * step_->CommSeconds(n);
+  return comm_coefficient_ * static_cast<double>(supersteps_) *
+         step_->CommSeconds(n);
+}
+
+Scenario Scenario::Calibrated(double compute_coefficient,
+                              double comm_coefficient,
+                              const std::string& suffix) const {
+  DMLSCALE_CHECK(std::isfinite(compute_coefficient) &&
+                 compute_coefficient > 0.0);
+  DMLSCALE_CHECK(std::isfinite(comm_coefficient) && comm_coefficient > 0.0);
+  Scenario calibrated = *this;
+  calibrated.name_ = name_ + suffix;
+  calibrated.compute_coefficient_ *= compute_coefficient;
+  calibrated.comm_coefficient_ *= comm_coefficient;
+  return calibrated;
 }
 
 Result<core::SpeedupCurve> Scenario::Speedup(int max_nodes,
@@ -91,6 +108,13 @@ Scenario::Builder& Scenario::Builder::Supersteps(int count) {
   return *this;
 }
 
+Scenario::Builder& Scenario::Builder::WithCalibration(
+    double compute_coefficient, double comm_coefficient) {
+  compute_coefficient_ = compute_coefficient;
+  comm_coefficient_ = comm_coefficient;
+  return *this;
+}
+
 Result<Scenario> Scenario::Builder::Build() const {
   if (!node_.has_value()) {
     return Status::FailedPrecondition(
@@ -117,6 +141,12 @@ Result<Scenario> Scenario::Builder::Build() const {
   if (supersteps_ < 1) {
     return Status::InvalidArgument("scenario '" + name_ +
                                    "': supersteps must be >= 1");
+  }
+  if (!std::isfinite(compute_coefficient_) || compute_coefficient_ <= 0.0 ||
+      !std::isfinite(comm_coefficient_) || comm_coefficient_ <= 0.0) {
+    return Status::InvalidArgument(
+        "scenario '" + name_ +
+        "': calibration coefficients must be finite and > 0");
   }
   if (!has_compute_) {
     return Status::FailedPrecondition(
@@ -169,11 +199,13 @@ Result<Scenario> Scenario::Builder::Build() const {
                                         .max_nodes = max_nodes_,
                                         .shared_memory = shared_memory_};
   scenario.supersteps_ = supersteps_;
-  scenario.step_ = std::make_unique<core::Superstep>(
+  scenario.step_ = std::make_shared<const core::Superstep>(
       std::move(compute), std::move(comm), name_ + "-superstep");
   scenario.compute_name_ = std::move(compute_name);
   scenario.comm_name_ = std::move(comm_name);
   scenario.comm_params_ = std::move(comm_params);
+  scenario.compute_coefficient_ = compute_coefficient_;
+  scenario.comm_coefficient_ = comm_coefficient_;
   return scenario;
 }
 

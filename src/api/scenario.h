@@ -32,18 +32,48 @@ namespace dmlscale::api {
 ///
 /// `Scenario` is itself an `AlgorithmModel`, so it plugs directly into
 /// `SpeedupAnalyzer`, `CapacityPlanner`, and `Analysis::Run`.
+///
+/// Scenarios are cheap to copy (the resolved superstep is shared,
+/// immutable state), which is what lets `api::Calibrate` hand back a
+/// calibrated twin of its input.
+///
+/// A scenario optionally carries CALIBRATION COEFFICIENTS (Section VI's
+/// feedback loop): `Seconds(n)` is
+///   supersteps * (compute_coefficient * tcp(n) + comm_coefficient * tcm(n)).
+/// Both default to 1 (the a-priori model); `api::Calibrate` fits them to
+/// measured `core::TimingSample`s, and `Builder::WithCalibration` bakes
+/// known coefficients into a rebuilt scenario (e.g. a sweep axis).
 class Scenario final : public core::AlgorithmModel {
  public:
   class Builder;
 
-  /// Iteration time on `n` nodes: supersteps * (tcp(n) + tcm(n)).
+  /// Iteration time on `n` nodes: supersteps * (tcp(n) + tcm(n)), each term
+  /// scaled by its calibration coefficient.
   double Seconds(int n) const override;
   std::string name() const override { return name_; }
 
-  /// The computation term alone (all supersteps), for diagnostics tables.
+  /// The computation term alone (all supersteps, coefficient applied).
   double ComputeSeconds(int n) const;
-  /// The communication term alone (all supersteps).
+  /// The communication term alone (all supersteps, coefficient applied).
   double CommSeconds(int n) const;
+
+  /// Calibration coefficients (1.0 until calibrated). A compute coefficient
+  /// of 1.25 means the hardware reaches only 80% of the assumed effective
+  /// FLOPS; a comm coefficient of 0.8 means the collective beats the
+  /// closed-form estimate by 20% (e.g. pipelining the paper's model omits).
+  double compute_coefficient() const { return compute_coefficient_; }
+  double comm_coefficient() const { return comm_coefficient_; }
+  /// True when either coefficient differs from the a-priori 1.0.
+  bool calibrated() const {
+    return compute_coefficient_ != 1.0 || comm_coefficient_ != 1.0;
+  }
+
+  /// A copy of this scenario with the given coefficients MULTIPLIED onto
+  /// the existing ones and `suffix` appended to the name. Coefficients must
+  /// be finite and > 0 (CHECK). This is how `api::Calibrate` constructs its
+  /// result; prefer that entry point when fitting from samples.
+  Scenario Calibrated(double compute_coefficient, double comm_coefficient,
+                      const std::string& suffix = "+calibrated") const;
 
   const core::ClusterSpec& cluster() const { return cluster_; }
   int supersteps() const { return supersteps_; }
@@ -64,10 +94,13 @@ class Scenario final : public core::AlgorithmModel {
   std::string name_;
   core::ClusterSpec cluster_;
   int supersteps_ = 1;
-  std::unique_ptr<core::Superstep> step_;
+  /// Shared and immutable after Build(), so copies are cheap and safe.
+  std::shared_ptr<const core::Superstep> step_;
   std::string compute_name_;
   std::string comm_name_;
   ModelParams comm_params_;
+  double compute_coefficient_ = 1.0;
+  double comm_coefficient_ = 1.0;
 };
 
 /// Fluent builder; every setter returns *this so scenarios read as one
@@ -102,6 +135,14 @@ class Scenario::Builder {
   /// Supersteps per iteration (>= 1); the iteration time is their sum.
   Builder& Supersteps(int count);
 
+  /// Bakes known calibration coefficients into the scenario: compute /
+  /// comm terms are scaled by them (see Scenario::compute_coefficient()).
+  /// Use `api::Calibrate` to FIT coefficients from measured samples; this
+  /// setter is for re-declaring a previously fitted scenario, e.g. on a
+  /// sweep axis. Build() rejects non-finite or non-positive values.
+  Builder& WithCalibration(double compute_coefficient,
+                           double comm_coefficient);
+
   /// Validates and assembles the scenario.
   Result<Scenario> Build() const;
 
@@ -122,6 +163,9 @@ class Scenario::Builder {
   bool has_comm_ = false;
   std::string comm_model_;
   ModelParams comm_params_;
+
+  double compute_coefficient_ = 1.0;
+  double comm_coefficient_ = 1.0;
 };
 
 }  // namespace dmlscale::api

@@ -36,6 +36,11 @@ Result<ParallelBpStats> RunParallelBp(LoopyBp* solver,
   for (int w = 0; w < partition.num_parts; ++w) {
     for (graph::VertexId v : worker_vertices[static_cast<size_t>(w)]) {
       stats.edges_per_worker[static_cast<size_t>(w)] += g.Degree(v);
+      for (graph::VertexId u : g.Neighbors(v)) {
+        if (partition.assignment[static_cast<size_t>(u)] != w) {
+          ++stats.cut_directed_edges;
+        }
+      }
     }
   }
 

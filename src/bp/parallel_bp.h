@@ -14,6 +14,12 @@ struct ParallelBpStats {
   BpRunResult run;
   /// Directed-edge updates performed by each worker per superstep.
   std::vector<int64_t> edges_per_worker;
+  /// Directed edges whose endpoints live on different workers — the
+  /// messages a distributed deployment would put on the wire each
+  /// superstep. In-process workers exchange them through shared memory,
+  /// but the count is the measured communication volume the calibration
+  /// workloads price against a scenario's interconnect.
+  int64_t cut_directed_edges = 0;
 };
 
 /// Partition-parallel synchronous loopy BP: workers update the messages of

@@ -1,6 +1,7 @@
 #include "core/calibration.h"
 
 #include <cmath>
+#include <set>
 
 #include "common/check.h"
 
@@ -53,9 +54,28 @@ Result<CalibrationResult> FitLinearModel(
   }
   for (const auto& sample : samples) {
     if (sample.nodes < 1) return Status::InvalidArgument("nodes must be >= 1");
+    if (!std::isfinite(sample.seconds)) {
+      // A NaN sneaks past a `<= 0` test (every comparison with NaN is
+      // false) and would silently poison the whole normal matrix.
+      return Status::FailedPrecondition(
+          "non-finite sample time at n=" + std::to_string(sample.nodes) +
+          "; drop failed/overflowed measurements before fitting");
+    }
     if (sample.seconds <= 0.0) {
       return Status::InvalidArgument("seconds must be positive");
     }
+  }
+  // `samples.size() >= k` is not enough: five samples at the same node count
+  // carry one equation's worth of information and make the normal matrix
+  // singular (or, with rounding, near-singular garbage).
+  std::set<int> distinct_nodes;
+  for (const auto& sample : samples) distinct_nodes.insert(sample.nodes);
+  if (distinct_nodes.size() < basis.size()) {
+    return Status::FailedPrecondition(
+        "node schedule has only " + std::to_string(distinct_nodes.size()) +
+        " distinct node count(s) for " + std::to_string(basis.size()) +
+        " basis terms; measure at least as many distinct node counts as "
+        "coefficients");
   }
 
   size_t k = basis.size();
@@ -64,7 +84,14 @@ Result<CalibrationResult> FitLinearModel(
   std::vector<double> xty(k, 0.0);
   for (const auto& sample : samples) {
     std::vector<double> row(k);
-    for (size_t j = 0; j < k; ++j) row[j] = basis[j](sample.nodes);
+    for (size_t j = 0; j < k; ++j) {
+      row[j] = basis[j](sample.nodes);
+      if (!std::isfinite(row[j])) {
+        return Status::FailedPrecondition(
+            "basis term " + std::to_string(j) + " is non-finite at n=" +
+            std::to_string(sample.nodes));
+      }
+    }
     for (size_t i = 0; i < k; ++i) {
       for (size_t j = 0; j < k; ++j) xtx[i][j] += row[i] * row[j];
       xty[i] += row[i] * sample.seconds;

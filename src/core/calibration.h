@@ -38,8 +38,12 @@ struct CalibrationResult {
 };
 
 /// Ordinary least squares for `t(n) = sum_k theta_k basis_k(n)`.
-/// Requires at least as many samples as basis terms and a non-singular
-/// normal matrix (fails with FailedPrecondition otherwise).
+/// Requires at least as many samples as basis terms, at least as many
+/// DISTINCT node counts as basis terms, finite sample times and basis
+/// values, and a non-singular normal matrix (fails with FailedPrecondition
+/// otherwise). A successful fit can still report a negative `r_squared`
+/// when the basis cannot track the samples — treat that as "do not trust
+/// this model", not as an error.
 Result<CalibrationResult> FitLinearModel(
     const std::vector<std::function<double(int)>>& basis,
     const std::vector<TimingSample>& samples);

@@ -31,9 +31,12 @@ Status PermuteInto(const Dataset& data, const std::vector<int64_t>& order,
   return Status::OK();
 }
 
-int64_t NumShards(int64_t batch_len, int64_t grain) {
-  if (grain <= 0) return 1;
-  return (batch_len + grain - 1) / grain;
+int64_t NumShards(int64_t batch_len, const TrainerOptions& options) {
+  if (options.shards_per_batch > 0) {
+    return std::min(options.shards_per_batch, batch_len);
+  }
+  if (options.shard_grain <= 0) return 1;
+  return (batch_len + options.shard_grain - 1) / options.shard_grain;
 }
 
 }  // namespace
@@ -58,6 +61,9 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
   if (options.shard_grain < 0) {
     return Status::InvalidArgument("shard_grain must be >= 0");
   }
+  if (options.shards_per_batch < 0) {
+    return Status::InvalidArgument("shards_per_batch must be >= 0");
+  }
   if (options.shuffle && rng == nullptr) {
     return Status::InvalidArgument("shuffle requires an rng");
   }
@@ -70,15 +76,15 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
   // options.threads — so any thread count reproduces the serial result
   // bit for bit. The largest (first) batch bounds the replica count.
   const int64_t max_shards =
-      NumShards(std::min(options.batch_size, examples), options.shard_grain);
+      NumShards(std::min(options.batch_size, examples), options);
   if (options.threads > 1 && max_shards <= 1) {
     return Status::InvalidArgument(
         "threads > 1 requires multiple gradient shards per batch, but "
         "shard_grain=" + std::to_string(options.shard_grain) +
+        ", shards_per_batch=" + std::to_string(options.shards_per_batch) +
         " yields one shard for batches of " +
         std::to_string(std::min(options.batch_size, examples)) +
-        "; the request would be silently serial (set 0 < shard_grain < "
-        "batch size)");
+        "; the request would be silently serial");
   }
 
   // One-time allocations; everything below the epoch loop reuses them.
@@ -117,7 +123,7 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
     int64_t batches = 0;
     for (int64_t begin = 0; begin < examples; begin += options.batch_size) {
       int64_t end = std::min(begin + options.batch_size, examples);
-      int64_t shards = NumShards(end - begin, options.shard_grain);
+      int64_t shards = NumShards(end - begin, options);
       if (shards <= 1) {
         DMLSCALE_RETURN_NOT_OK(source->CopySliceInto(begin, end, &batch_buf));
         DMLSCALE_ASSIGN_OR_RETURN(
@@ -126,6 +132,8 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
                        optimizer));
         loss_sum += batch_loss;
         ++batches;
+        ++history.total_batches;
+        history.bottleneck_examples += end - begin;
         continue;
       }
 
@@ -173,10 +181,12 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
       // over the shard).
       network->ZeroGradients();
       double batch_loss = 0.0;
+      int64_t bottleneck = 0;
       for (int64_t s = 0; s < shards; ++s) {
         auto range = engine::ComputeShard(begin, end,
                                           static_cast<int>(shards),
                                           static_cast<int>(s));
+        bottleneck = std::max(bottleneck, range.end - range.begin);
         double weight = static_cast<double>(range.end - range.begin) /
                         static_cast<double>(end - begin);
         DMLSCALE_RETURN_NOT_OK(network->AccumulateScaledGradientsFrom(
@@ -186,6 +196,9 @@ Result<TrainingHistory> TrainMiniBatches(Network* network,
       DMLSCALE_RETURN_NOT_OK(optimizer->Step(network));
       loss_sum += batch_loss;
       ++batches;
+      ++history.total_batches;
+      history.bottleneck_examples += bottleneck;
+      history.replica_reductions += shards;
     }
     history.epoch_loss.push_back(loss_sum / static_cast<double>(batches));
   }

@@ -42,11 +42,31 @@ struct TrainerOptions {
   /// classic serial semantics). Changing the grain changes floating-point
   /// summation order (not correctness).
   int64_t shard_grain = 0;
+  /// Exact shard count per mini-batch (capped at the batch length);
+  /// overrides shard_grain when > 0. A grain cannot express every count —
+  /// ceil(10 / ceil(10/6)) = 5, never 6 — and the calibration workloads
+  /// need "n shards = n modeled nodes" to hold exactly.
+  int64_t shards_per_batch = 0;
 };
 
 struct TrainingHistory {
   /// Mean per-batch loss of each epoch.
   std::vector<double> epoch_loss;
+
+  /// Execution counters, filled while training runs. These are the
+  /// "measured" side of the calibration feedback loop (api::Calibrate): a
+  /// synchronous data-parallel step waits for its slowest shard, so the
+  /// executed bottleneck work — not the idealized `examples / n` split —
+  /// is what a timing model should be fitted to.
+  /// Optimizer steps taken (one per mini-batch, all epochs).
+  int64_t total_batches = 0;
+  /// Sum over batches of the LARGEST shard's example count: the examples a
+  /// perfectly synchronous superstep actually waits for. Equals the total
+  /// example count when every batch is a single shard.
+  int64_t bottleneck_examples = 0;
+  /// Sum over batches of the number of gradient shards reduced into the
+  /// master (0 for single-shard batches, which update in place).
+  int64_t replica_reductions = 0;
 
   double final_loss() const {
     return epoch_loss.empty() ? 0.0 : epoch_loss.back();

@@ -38,6 +38,17 @@ Status CheckUniqueLabels(const std::vector<PointT>& axis,
 
 }  // namespace
 
+ScenarioAxisPoint CalibratedAxisPoint(const ScenarioAxisPoint& base,
+                                      std::string label,
+                                      double compute_coefficient,
+                                      double comm_coefficient) {
+  ScenarioAxisPoint point = base;
+  point.label = std::move(label);
+  point.compute_coefficient = compute_coefficient;
+  point.comm_coefficient = comm_coefficient;
+  return point;
+}
+
 SweepGrid& SweepGrid::AddScenario(ScenarioAxisPoint point) {
   scenarios_.push_back(std::move(point));
   return *this;
@@ -116,7 +127,9 @@ Result<api::Scenario> SweepGrid::BuildScenario(const SweepCell& cell) const {
   builder.Name(scenario.label + "@" + hardware.label)
       .Hardware(hardware.cluster)
       .Compute(scenario.compute_model, scenario.compute_params)
-      .Supersteps(scenario.supersteps);
+      .Supersteps(scenario.supersteps)
+      .WithCalibration(scenario.compute_coefficient,
+                       scenario.comm_coefficient);
   if (!scenario.comm_model.empty()) {
     builder.Comm(scenario.comm_model, scenario.comm_params);
   }

@@ -25,7 +25,21 @@ struct ScenarioAxisPoint {
   std::string comm_model;
   api::ModelParams comm_params;
   int supersteps = 1;
+  /// Calibration coefficients baked into the built scenario
+  /// (`Scenario::Builder::WithCalibration`); both 1.0 = the a-priori model.
+  /// Putting the same configuration on the axis twice — once a-priori, once
+  /// with coefficients fitted by `api::Calibrate` — makes the sweep report
+  /// an a-priori-vs-calibrated comparison (distinct labels required).
+  double compute_coefficient = 1.0;
+  double comm_coefficient = 1.0;
 };
+
+/// A copy of `base` carrying the coefficients of a calibration fit, labeled
+/// `label` — the convenience for the a-priori-vs-calibrated sweeps above.
+ScenarioAxisPoint CalibratedAxisPoint(const ScenarioAxisPoint& base,
+                                      std::string label,
+                                      double compute_coefficient,
+                                      double comm_coefficient);
 
 /// One point on the hardware axis: a named cluster (node, link, max_nodes,
 /// shared_memory), typically from `api::presets`.

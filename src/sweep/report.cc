@@ -21,6 +21,11 @@ std::string MapeCell(const api::AnalysisReport& report) {
   return FormatDouble(*report.model_vs_sim_mape, 3);
 }
 
+std::string MeasuredMapeCell(const api::AnalysisReport& report) {
+  if (!report.model_vs_measured_mape.has_value()) return "";
+  return FormatDouble(*report.model_vs_measured_mape, 3);
+}
+
 // Efficiency at the curve's optimum, via the curve's own definition so the
 // sweep emitters can never drift from core::SpeedupCurve::Efficiency().
 double PeakEfficiency(const api::AnalysisReport& report) {
@@ -60,7 +65,7 @@ std::string SweepReport::ToCsv() const {
   CsvWriter csv({"cell", "scenario", "hardware", "options", "status",
                  "t_ref_s", "optimal_nodes", "first_local_peak",
                  "peak_speedup", "peak_efficiency", "scalable", "q1_nodes",
-                 "q2_nodes", "mape_pct"});
+                 "q2_nodes", "mape_pct", "measured_mape_pct"});
   for (const SweepCellResult& cell : cells) {
     std::vector<std::string> row{std::to_string(cell.index),
                                  cell.scenario_label, cell.hardware_label,
@@ -74,10 +79,11 @@ std::string SweepReport::ToCsv() const {
                   FormatDouble(r.peak_speedup, 4),
                   FormatDouble(PeakEfficiency(r), 4),
                   r.scalable ? "yes" : "no", PlannerCell(r.speedup_answer),
-                  PlannerCell(r.growth_answer), MapeCell(r)});
+                  PlannerCell(r.growth_answer), MapeCell(r),
+                  MeasuredMapeCell(r)});
     } else {
       row.insert(row.end(), {cell.status.ToString(), "", "", "", "", "", "",
-                             "", "", ""});
+                             "", "", "", ""});
     }
     csv.AddRow(std::move(row));
   }

@@ -1,0 +1,244 @@
+#include "api/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "api/analysis.h"
+#include "api/presets.h"
+#include "api/workload.h"
+#include "models/graphical_inference.h"
+
+namespace dmlscale::api {
+namespace {
+
+Result<Scenario> Fig1Scenario() {
+  return Scenario::Builder()
+      .Name("fig1")
+      .Hardware(presets::GenericGigaflopNode())
+      .Link(presets::GigabitEthernet())
+      .MaxNodes(30)
+      .Compute("perfectly-parallel", {{"total_flops", 196.0e9}})
+      .Comm("linear", {{"bits", 1e9}})
+      .Build();
+}
+
+/// A workload that returns arbitrary crafted times; used to drive the fit
+/// into corners a Scenario cannot reach.
+class CraftedWorkload final : public Workload {
+ public:
+  explicit CraftedWorkload(std::function<double(int)> t) : t_(std::move(t)) {}
+  std::string name() const override { return "crafted"; }
+  bool measured() const override { return false; }
+  Result<core::TimingSample> Measure(int nodes) override {
+    return core::TimingSample{nodes, t_(nodes)};
+  }
+
+ private:
+  std::function<double(int)> t_;
+};
+
+TEST(CalibrateTest, RoundTripRecoversKnownCoefficients) {
+  auto apriori = Fig1Scenario();
+  ASSERT_TRUE(apriori.ok());
+  // The "cluster": the same scenario with hidden truth (1.25, 0.8) baked in.
+  Scenario truth = apriori->Calibrated(1.25, 0.8, "+truth");
+  ModeledWorkload workload(truth);
+
+  CalibrationOptions options;
+  options.node_schedule = {1, 2, 4, 8, 16};
+  auto calibrated = Calibrate(*apriori, &workload, options);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_NEAR(calibrated->compute_coefficient, 1.25, 1e-6);
+  EXPECT_NEAR(calibrated->comm_coefficient, 0.8, 1e-6);
+  EXPECT_TRUE(calibrated->comm_fitted);
+  EXPECT_NEAR(calibrated->fit.r_squared, 1.0, 1e-9);
+  EXPECT_EQ(calibrated->scenario.name(), "fig1+calibrated");
+  EXPECT_TRUE(calibrated->scenario.calibrated());
+  EXPECT_EQ(calibrated->samples.size(), 5u);
+
+  // The calibrated scenario predicts held-out node counts exactly.
+  for (int n : {3, 9, 24, 30}) {
+    EXPECT_NEAR(calibrated->scenario.Seconds(n), truth.Seconds(n),
+                1e-9 * truth.Seconds(n))
+        << "n=" << n;
+  }
+}
+
+TEST(CalibrateTest, AnalysisOnCalibratedScenarioReproducesMeasuredCurve) {
+  auto apriori = Fig1Scenario();
+  ASSERT_TRUE(apriori.ok());
+  Scenario truth = apriori->Calibrated(1.25, 0.8, "+truth");
+  ModeledWorkload workload(truth);
+  CalibrationOptions coptions;
+  coptions.node_schedule = {1, 2, 4, 8, 16};
+  auto calibrated = Calibrate(*apriori, &workload, coptions);
+  ASSERT_TRUE(calibrated.ok());
+
+  AnalysisOptions options;
+  options.measured_samples = &calibrated->samples;
+  auto report = Analysis::Run(calibrated->scenario, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->calibrated);
+  EXPECT_NEAR(report->compute_coefficient, 1.25, 1e-6);
+  EXPECT_NEAR(report->comm_coefficient, 0.8, 1e-6);
+  ASSERT_TRUE(report->model_vs_measured_mape.has_value());
+  EXPECT_NEAR(*report->model_vs_measured_mape, 0.0, 1e-6);
+  EXPECT_EQ(report->measured.size(), 5u);
+
+  // The a-priori scenario does NOT reproduce the measurements.
+  auto apriori_report = Analysis::Run(*apriori, options);
+  ASSERT_TRUE(apriori_report.ok());
+  EXPECT_FALSE(apriori_report->calibrated);
+  EXPECT_GT(*apriori_report->model_vs_measured_mape, 1.0);
+}
+
+TEST(CalibrateTest, SharedMemoryScenarioFitsComputeOnly) {
+  auto apriori = Scenario::Builder()
+                     .Name("shm")
+                     .Hardware(presets::SharedMemoryServer(80))
+                     .Compute("perfectly-parallel", {{"total_flops", 1e12}})
+                     .SharedMemory()
+                     .Build();
+  ASSERT_TRUE(apriori.ok());
+  Scenario truth = apriori->Calibrated(1.5, 1.0, "+truth");
+  ModeledWorkload workload(truth);
+  CalibrationOptions options;
+  options.node_schedule = {1, 2, 4};
+  auto calibrated = Calibrate(*apriori, &workload, options);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_FALSE(calibrated->comm_fitted);
+  EXPECT_NEAR(calibrated->compute_coefficient, 1.5, 1e-9);
+  EXPECT_DOUBLE_EQ(calibrated->comm_coefficient, 1.0);
+}
+
+TEST(CalibrateTest, RejectsDegenerateSchedules) {
+  auto apriori = Fig1Scenario();
+  ASSERT_TRUE(apriori.ok());
+  ModeledWorkload workload(*apriori);
+
+  EXPECT_FALSE(Calibrate(*apriori, nullptr, {}).ok());
+
+  CalibrationOptions empty;
+  empty.node_schedule = {};
+  EXPECT_FALSE(Calibrate(*apriori, &workload, empty).ok());
+
+  CalibrationOptions bad_entry;
+  bad_entry.node_schedule = {1, 0};
+  EXPECT_FALSE(Calibrate(*apriori, &workload, bad_entry).ok());
+
+  // Five samples, one distinct node count: cannot separate two terms.
+  CalibrationOptions duplicate;
+  duplicate.node_schedule = {4, 4, 4, 4, 4};
+  auto result = Calibrate(*apriori, &workload, duplicate);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(CalibrateTest, RejectsFitsWithNonPositiveCoefficients) {
+  auto apriori = Fig1Scenario();
+  ASSERT_TRUE(apriori.ok());
+  // Crafted "measurements" equal to compute(n) - 0.5 * comm(n) (still
+  // positive on the schedule): the exact OLS solution has a negative comm
+  // coefficient, which would predict negative times at large n.
+  Scenario scenario = *apriori;
+  CraftedWorkload workload([&scenario](int n) {
+    return scenario.ComputeSeconds(n) - 0.5 * scenario.CommSeconds(n);
+  });
+  CalibrationOptions options;
+  options.node_schedule = {1, 2, 4, 8};
+  auto result = Calibrate(*apriori, &workload, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().message().find("not all positive"),
+            std::string::npos);
+}
+
+TEST(CalibrateTest, NnTrainerEndToEndImprovesTheModel) {
+  // A scenario declared to match what the workload executes per optimizer
+  // step: compute = 6 * W * batch multiply-add-convention ops, comm = the
+  // 64-bit gradient/parameter exchange. The a-priori model idealizes away
+  // biases, shard imbalance, reduction and optimizer flops — calibration
+  // folds them back in.
+  NnTrainerWorkloadOptions options;
+  options.layer_sizes = {16, 32, 16, 4};
+  options.examples = 96;
+  options.batch_size = 24;
+  options.epochs = 1;
+  options.seed = 11;
+  options.threads = 2;  // must not change samples; exercised under TSan
+  int64_t weights = 0;
+  for (size_t i = 0; i + 1 < options.layer_sizes.size(); ++i) {
+    weights += options.layer_sizes[i] * options.layer_sizes[i + 1];
+  }
+  auto apriori =
+      Scenario::Builder()
+          .Name("nn-roundtrip")
+          .Hardware(presets::SparkCluster(16))
+          .Compute("perfectly-parallel",
+                   {{"total_flops",
+                     6.0 * static_cast<double>(weights * options.batch_size)}})
+          .Comm("linear", {{"bits", 2.0 * 64.0 * static_cast<double>(weights)}})
+          .Build();
+  ASSERT_TRUE(apriori.ok());
+  auto workload = NnTrainerWorkload::Create(*apriori, options);
+  ASSERT_TRUE(workload.ok());
+
+  CalibrationOptions coptions;
+  coptions.node_schedule = {1, 2, 3, 4, 6, 8};
+  auto calibrated = Calibrate(*apriori, workload->get(), coptions);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_GT(calibrated->compute_coefficient, 0.0);
+  EXPECT_GT(calibrated->comm_coefficient, 0.0);
+
+  auto apriori_mape = MapeVsSamples(*apriori, calibrated->samples);
+  auto calibrated_mape =
+      MapeVsSamples(calibrated->scenario, calibrated->samples);
+  ASSERT_TRUE(apriori_mape.ok());
+  ASSERT_TRUE(calibrated_mape.ok());
+  EXPECT_LT(*calibrated_mape, *apriori_mape);
+}
+
+TEST(CalibrateTest, BpSweepEndToEndFitsSharedMemoryCompute) {
+  // Shared-memory inference scenario (Section V-B): F cancels from the
+  // speedup but not from t(n); the fitted compute coefficient absorbs the
+  // measured partition imbalance vs the idealized E/n split.
+  core::ClusterSpec cluster = presets::SharedMemoryServer(16);
+  BpSweepWorkloadOptions options;
+  options.grid_rows = 16;
+  options.grid_cols = 16;
+  options.seed = 5;
+  options.threads = 2;  // must not change samples; exercised under TSan
+  // 16x16 grid: 480 undirected edges -> 960 directed updates per superstep.
+  double directed_updates = 2.0 * (16.0 * 15.0 * 2.0);
+  double ops_per_edge = models::BpOperationsPerEdge(2);
+  auto apriori =
+      Scenario::Builder()
+          .Name("bp-roundtrip")
+          .Hardware(cluster)
+          .Compute(
+              [directed_updates, ops_per_edge](int n) {
+                // Idealized: perfectly balanced edge shares.
+                return directed_updates * ops_per_edge /
+                       static_cast<double>(n);
+              },
+              "balanced-bp")
+          .SharedMemory()
+          .Build();
+  ASSERT_TRUE(apriori.ok());
+  auto workload = BpSweepWorkload::Create(*apriori, options);
+  ASSERT_TRUE(workload.ok());
+
+  CalibrationOptions coptions;
+  coptions.node_schedule = {1, 2, 4, 8};
+  auto calibrated = Calibrate(*apriori, workload->get(), coptions);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_FALSE(calibrated->comm_fitted);
+  // Random partitions are imbalanced, so the bottleneck worker does MORE
+  // than the idealized share: coefficient ~>= 1, and within sanity bounds.
+  EXPECT_GT(calibrated->compute_coefficient, 0.99);
+  EXPECT_LT(calibrated->compute_coefficient, 3.0);
+}
+
+}  // namespace
+}  // namespace dmlscale::api

@@ -1,5 +1,6 @@
 #include "api/scenario.h"
 
+#include <cmath>
 #include <memory>
 
 #include <gtest/gtest.h>
@@ -181,6 +182,48 @@ TEST(ScenarioTest, IsAnAlgorithmModel) {
   const core::AlgorithmModel& model = *scenario;
   EXPECT_EQ(model.name(), "fig1");
   EXPECT_GT(model.Seconds(1), 0.0);
+}
+
+TEST(ScenarioBuilderTest, WithCalibrationScalesTheTerms) {
+  auto apriori = Fig1Builder().Build();
+  auto calibrated = Fig1Builder().WithCalibration(1.25, 0.8).Build();
+  ASSERT_TRUE(apriori.ok());
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_FALSE(apriori->calibrated());
+  EXPECT_TRUE(calibrated->calibrated());
+  EXPECT_DOUBLE_EQ(calibrated->compute_coefficient(), 1.25);
+  EXPECT_DOUBLE_EQ(calibrated->comm_coefficient(), 0.8);
+  for (int n : {1, 7, 14, 30}) {
+    EXPECT_DOUBLE_EQ(calibrated->ComputeSeconds(n),
+                     1.25 * apriori->ComputeSeconds(n));
+    EXPECT_DOUBLE_EQ(calibrated->CommSeconds(n),
+                     0.8 * apriori->CommSeconds(n));
+    EXPECT_DOUBLE_EQ(calibrated->Seconds(n),
+                     calibrated->ComputeSeconds(n) +
+                         calibrated->CommSeconds(n));
+  }
+}
+
+TEST(ScenarioBuilderTest, RejectsInvalidCalibrationCoefficients) {
+  EXPECT_FALSE(Fig1Builder().WithCalibration(0.0, 1.0).Build().ok());
+  EXPECT_FALSE(Fig1Builder().WithCalibration(1.0, -2.0).Build().ok());
+  EXPECT_FALSE(
+      Fig1Builder().WithCalibration(std::nan(""), 1.0).Build().ok());
+}
+
+TEST(ScenarioTest, CalibratedCopyComposesAndRenames) {
+  auto apriori = Fig1Builder().Build();
+  ASSERT_TRUE(apriori.ok());
+  Scenario once = apriori->Calibrated(1.25, 0.8);
+  EXPECT_EQ(once.name(), "fig1+calibrated");
+  Scenario twice = once.Calibrated(2.0, 1.0, "+again");
+  EXPECT_EQ(twice.name(), "fig1+calibrated+again");
+  EXPECT_DOUBLE_EQ(twice.compute_coefficient(), 2.5);
+  EXPECT_DOUBLE_EQ(twice.comm_coefficient(), 0.8);
+  // The original is untouched (copies share only the immutable superstep).
+  EXPECT_FALSE(apriori->calibrated());
+  EXPECT_DOUBLE_EQ(apriori->Seconds(14),
+                   apriori->ComputeSeconds(14) + apriori->CommSeconds(14));
 }
 
 }  // namespace

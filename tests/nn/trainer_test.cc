@@ -80,6 +80,53 @@ TEST(TrainerTest, ShuffleChangesBatchOrderNotOutcomeQuality) {
   }
 }
 
+TEST(TrainerTest, ShardsPerBatchYieldsExactCountsAndCounters) {
+  // A grain cannot express 6 shards of a 10-example batch
+  // (ceil(10 / ceil(10/6)) = 5); the explicit override must. ComputeShard
+  // splits 10 over 6 as 2,2,2,2,1,1 -> bottleneck 2 per batch.
+  Pcg32 rng(5);
+  auto data = SyntheticClassification(20, 4, 2, 0.3, &rng).value();
+  Network net = Network::FullyConnected({4, 6, 2}, &rng);
+  SoftmaxCrossEntropyLoss loss;
+  SgdOptimizer optimizer(0.1);
+  auto history = TrainMiniBatches(
+      &net, data, loss, &optimizer,
+      {.epochs = 1, .batch_size = 10, .shuffle = false,
+       .shards_per_batch = 6},
+      nullptr);
+  ASSERT_TRUE(history.ok());
+  EXPECT_EQ(history->total_batches, 2);
+  EXPECT_EQ(history->replica_reductions, 12);  // 6 shards x 2 batches
+  EXPECT_EQ(history->bottleneck_examples, 4);  // 2 per batch
+
+  // The override is capped at the batch length (never empty shards), and
+  // single-shard training leaves the reduction counter at zero.
+  Network capped = Network::FullyConnected({4, 6, 2}, &rng);
+  auto capped_history = TrainMiniBatches(
+      &capped, data, loss, &optimizer,
+      {.epochs = 1, .batch_size = 4, .shuffle = false,
+       .shards_per_batch = 99},
+      nullptr);
+  ASSERT_TRUE(capped_history.ok());
+  EXPECT_EQ(capped_history->replica_reductions, 20);  // 4+4+4+4+4
+  EXPECT_EQ(capped_history->bottleneck_examples, 5);  // 1 per batch
+
+  Network serial = Network::FullyConnected({4, 6, 2}, &rng);
+  auto serial_history = TrainMiniBatches(
+      &serial, data, loss, &optimizer,
+      {.epochs = 1, .batch_size = 10, .shuffle = false}, nullptr);
+  ASSERT_TRUE(serial_history.ok());
+  EXPECT_EQ(serial_history->total_batches, 2);
+  EXPECT_EQ(serial_history->replica_reductions, 0);
+  EXPECT_EQ(serial_history->bottleneck_examples, 20);
+
+  EXPECT_FALSE(TrainMiniBatches(&serial, data, loss, &optimizer,
+                                {.epochs = 1, .batch_size = 10,
+                                 .shuffle = false, .shards_per_batch = -1},
+                                nullptr)
+                   .ok());
+}
+
 TEST(TrainerTest, RejectsBadArguments) {
   Pcg32 rng(8);
   auto data = SyntheticClassification(10, 3, 2, 0.3, &rng).value();

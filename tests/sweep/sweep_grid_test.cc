@@ -134,6 +134,46 @@ TEST(SweepGridTest, BuildScenarioSurfacesRegistryErrors) {
             std::string::npos);
 }
 
+TEST(SweepGridTest, CalibratedAxisPointCarriesCoefficientsIntoTheScenario) {
+  SweepGrid grid;
+  ScenarioAxisPoint apriori = Fig1Point("fig1");
+  grid.AddScenario(apriori);
+  grid.AddScenario(CalibratedAxisPoint(apriori, "fig1-cal", 1.25, 0.8));
+  grid.AddHardware(Fig1Hardware());
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 2u);
+
+  auto base = grid.BuildScenario((*cells)[0]);
+  auto calibrated = grid.BuildScenario((*cells)[1]);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_FALSE(base->calibrated());
+  EXPECT_TRUE(calibrated->calibrated());
+  EXPECT_DOUBLE_EQ(calibrated->compute_coefficient(), 1.25);
+  EXPECT_DOUBLE_EQ(calibrated->comm_coefficient(), 0.8);
+  for (int n : {1, 7, 14}) {
+    EXPECT_DOUBLE_EQ(calibrated->Seconds(n),
+                     1.25 * base->ComputeSeconds(n) +
+                         0.8 * base->CommSeconds(n))
+        << "n=" << n;
+  }
+}
+
+TEST(SweepGridTest, BuildScenarioRejectsInvalidCoefficients) {
+  ScenarioAxisPoint bad = Fig1Point("bad-coeff");
+  bad.compute_coefficient = -1.0;
+  SweepGrid grid;
+  grid.AddScenario(bad);
+  grid.AddHardware(Fig1Hardware());
+  auto cells = grid.Cells();
+  ASSERT_TRUE(cells.ok());
+  auto scenario = grid.BuildScenario((*cells)[0]);
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_NE(scenario.status().message().find("coefficients"),
+            std::string::npos);
+}
+
 TEST(SweepGridTest, SharedMemoryHardwareNeedsNoCommModel) {
   ScenarioAxisPoint shared;
   shared.label = "bp";
