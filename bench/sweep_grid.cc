@@ -1,6 +1,7 @@
 // All of the paper's figure scenarios as one parallel grid sweep: scenario
 // bags (Fig. 1's generic node, Fig. 2's Spark ANN at several batch sizes,
-// the TensorFlow-style GPU workload, the Table-I communication topologies)
+// the TensorFlow-style GPU workload, the Table-I communication topologies,
+// and a contended-fabric ablation of the ring all-reduce)
 // x hardware presets x analysis options, fanned over a thread pool by
 // sweep::SweepRunner. Deterministic by construction: the CSV produced with
 // --threads=8 is byte-identical to --threads=1.
@@ -8,6 +9,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/arg_parser.h"
 #include "models/gradient_descent.h"
@@ -65,12 +68,31 @@ sweep::SweepGrid BuildPaperGrid(int max_nodes, int sim_supersteps) {
                     .comm_model = "linear",
                     .comm_params = {{"bits", mnist_bits}},
                     .supersteps = 1});
-  grid.AddScenario({.label = "mnist-ring",
-                    .compute_model = "perfectly-parallel",
-                    .compute_params = {{"total_flops", mnist_flops(60000.0)}},
-                    .comm_model = "ring-allreduce",
-                    .comm_params = {{"bits", mnist_bits}},
-                    .supersteps = 1});
+  sweep::ScenarioAxisPoint ring{
+      .label = "mnist-ring",
+      .compute_model = "perfectly-parallel",
+      .compute_params = {{"total_flops", mnist_flops(60000.0)}},
+      .comm_model = "ring-allreduce",
+      .comm_params = {{"bits", mnist_bits}},
+      .supersteps = 1};
+  grid.AddScenario(ring);
+  // Topology ablation axis: the same ring all-reduce priced on contended
+  // fabrics (the plain "mnist-ring" above is the ideal-network baseline).
+  // The sim options below then cross-check the analytic M/M/1 pricing
+  // against the per-link discrete-event simulator via the mape_pct column.
+  std::vector<sweep::NetworkAxisPoint> networks;
+  networks.push_back({.label = "ft4x4-mm1", .params = {}});
+  networks.back().params.Set("topology", "fat-tree").Set(
+      "oversubscription", 4.0);
+  networks.back().params.Set("queue", "mm1");
+  networks.push_back({.label = "mesh-mm1", .params = {}});
+  networks.back().params.Set("topology", "mesh2d").Set("queue", "mm1");
+  networks.push_back({.label = "star-mm1", .params = {}});
+  networks.back().params.Set("topology", "star").Set("queue", "mm1");
+  for (sweep::ScenarioAxisPoint& point : sweep::ExpandNetworkAxis(ring,
+                                                                  networks)) {
+    grid.AddScenario(std::move(point));
+  }
   grid.AddScenario({.label = "mnist-recdouble",
                     .compute_model = "perfectly-parallel",
                     .compute_params = {{"total_flops", mnist_flops(60000.0)}},

@@ -28,16 +28,26 @@ if(num_lines LESS 2)
                       "got ${num_lines} line(s)")
 endif()
 list(GET csv_lines 0 header)
-if(NOT header STREQUAL "cell,scenario,hardware,options,status,t_ref_s,optimal_nodes,first_local_peak,peak_speedup,peak_efficiency,scalable,q1_nodes,q2_nodes,mape_pct,measured_mape_pct")
+if(NOT header STREQUAL "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,first_local_peak,peak_speedup,peak_efficiency,scalable,q1_nodes,q2_nodes,mape_pct,measured_mape_pct")
   message(FATAL_ERROR "unexpected CSV header in ${CSV}: ${header}")
 endif()
 set(found_ok_row FALSE)
+set(found_contended_row FALSE)
 foreach(line IN LISTS csv_lines)
   if(line MATCHES ",ok,")
     set(found_ok_row TRUE)
+    # The grid's topology ablation decorates contended comm labels with
+    # "@<topology>/<queue>"; at least one such cell must have priced ok.
+    if(line MATCHES "@fat-tree")
+      set(found_contended_row TRUE)
+    endif()
   endif()
 endforeach()
 if(NOT found_ok_row)
   message(FATAL_ERROR "no ok data row in ${CSV}:\n${csv_lines}")
+endif()
+# Only the paper grid carries the topology ablation; opt in per driver.
+if(REQUIRE_CONTENDED AND NOT found_contended_row)
+  message(FATAL_ERROR "no ok contended (fat-tree) row in ${CSV}:\n${csv_lines}")
 endif()
 message(STATUS "sweep-smoke OK: ${num_lines} CSV lines from ${DRIVER}")

@@ -79,5 +79,48 @@ int main(int argc, char** argv) {
             << ")\n"
             << "Adding machines past this point makes the run SLOWER — the\n"
             << "communication term grows while computation shrinks.\n";
+
+  // ---- Contention tour ------------------------------------------------
+  // The closed forms above assume an ideal non-blocking switch. Re-price
+  // the SAME collective on a 4:1-oversubscribed fat-tree whose links also
+  // carry 35% background traffic (M/M/1 queueing) — just three extra
+  // parameters on the comm bag — and watch communication slow down and the
+  // optimum shift. (Collectives with disjoint per-round flows, like the
+  // binomial tree, are immune to oversubscription alone; the shared-fabric
+  // load is what every collective pays for.)
+  api::ModelParams contended_params = comm_params;
+  contended_params.Set("topology", "fat-tree")
+      .Set("oversubscription", 4.0)
+      .Set("queue", "mm1")
+      .Set("load", 0.35);
+  auto contended =
+      api::Scenario::Builder()
+          .Name("my-algorithm-contended")
+          .Hardware(core::NodeSpec{.name = "worker",
+                                   .peak_flops = args->GetDouble("flops", 100e9),
+                                   .efficiency = 0.8})
+          .Link(core::LinkSpec{
+              .bandwidth_bps = args->GetDouble(
+                  "bandwidth", api::presets::GigabitEthernet().bandwidth_bps)})
+          .MaxNodes(static_cast<int>(args->GetInt("max-nodes", 64)))
+          .Compute("perfectly-parallel",
+                   {{"total_flops", args->GetDouble("work", 4e12)}})
+          .Comm(comm, contended_params)
+          .Build();
+  if (!contended.ok()) {
+    std::cerr << contended.status() << "\n";
+    return 1;
+  }
+  auto contended_report = api::Analysis::Run(*contended, options);
+  if (!contended_report.ok()) {
+    std::cerr << contended_report.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n-- Same collective on a contended fabric --\n"
+            << "Comm: " << contended_report->comm_label << "\n"
+            << "Optimal machines: " << contended_report->optimal_nodes
+            << " (vs " << report->optimal_nodes << " contention-free), peak "
+            << "speedup " << FormatDouble(contended_report->peak_speedup, 4)
+            << " (vs " << FormatDouble(report->peak_speedup, 4) << ")\n";
   return 0;
 }

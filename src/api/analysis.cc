@@ -1,5 +1,8 @@
 #include "api/analysis.h"
 
+#include <functional>
+#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "core/planner.h"
 #include "core/validation.h"
+#include "sim/network_sim.h"
 #include "sim/workloads.h"
 
 namespace dmlscale::api {
@@ -45,16 +49,20 @@ ScenarioTimes MakeTimes(const Scenario& scenario, MemoCache* cache) {
         .compute_s = [&scenario](int n) { return scenario.ComputeSeconds(n); },
         .comm_s = [&scenario](int n) { return scenario.CommSeconds(n); }};
   }
+  // Scenario::CacheKey digests every model parameter — including the network
+  // keys — so two cells differing only in, say, `oversubscription` can never
+  // alias each other's cached times even under one display name.
+  std::string cache_key = scenario.CacheKey();
   return ScenarioTimes{
       .compute_s =
-          [&scenario, cache](int n) {
+          [&scenario, cache, cache_key](int n) {
             return cache->GetOrCompute(
-                scenario.name() + "|cp|" + std::to_string(n),
+                cache_key + "|cp|" + std::to_string(n),
                 [&scenario, n] { return scenario.ComputeSeconds(n); });
           },
-      .comm_s = [&scenario, cache](int n) {
+      .comm_s = [&scenario, cache, cache_key](int n) {
         return cache->GetOrCompute(
-            scenario.name() + "|cm|" + std::to_string(n),
+            cache_key + "|cm|" + std::to_string(n),
             [&scenario, n] { return scenario.CommSeconds(n); });
       }};
 }
@@ -70,11 +78,30 @@ Result<core::SpeedupCurve> SimulateCurve(const Scenario& scenario,
     return Status::InvalidArgument("scenario '" + scenario.name() +
                                    "': supersteps must be >= 1");
   }
+  // On a contended network the simulated curve prices communication with
+  // the per-link discrete-event simulator instead of the analytic queue
+  // model — that divergence is exactly what model_vs_sim_mape then measures.
+  // Times are precomputed per node count here (deterministically, before
+  // the jittered per-point fan-out) and injected through the comm closure,
+  // so the generic superstep simulator's draw sequence stays untouched.
+  std::function<double(int)> comm_seconds =
+      [&times, supersteps](int n) { return times.comm_s(n) / supersteps; };
+  if (scenario.contended()) {
+    const core::LinkSpec link = scenario.cluster().link;
+    const core::NetworkSpec& network = scenario.comm().network();
+    double coefficient = scenario.comm_coefficient();
+    auto des_comm = std::make_shared<std::map<int, double>>();
+    for (int n : nodes) {
+      (*des_comm)[n] = coefficient *
+                       sim::SimulatePatternSeconds(scenario.comm().Traffic(n),
+                                                   n, link, network);
+    }
+    comm_seconds = [des_comm](int n) { return des_comm->at(n); };
+  }
   sim::SuperstepSimConfig config{
       .compute_seconds = [&times,
                           supersteps](int n) { return times.compute_s(n) / supersteps; },
-      .comm_seconds = [&times,
-                       supersteps](int n) { return times.comm_s(n) / supersteps; },
+      .comm_seconds = std::move(comm_seconds),
       .message_bits = scenario.comm_params().GetOr("bits", 0.0),
       .overhead = options.overhead,
       .supersteps = options.sim_supersteps};
@@ -154,6 +181,8 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
 
   AnalysisReport report;
   report.scenario_name = scenario.name();
+  report.comm_label = scenario.comm_label();
+  report.contended = scenario.contended();
   report.compute_coefficient = scenario.compute_coefficient();
   report.comm_coefficient = scenario.comm_coefficient();
   report.calibrated = scenario.calibrated();
@@ -211,6 +240,12 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
 
 void PrintReport(const AnalysisReport& report, std::ostream& os) {
   os << "== Scenario: " << report.scenario_name << " ==\n";
+  // Only decorate contended runs: ideal-network reports must stay
+  // byte-identical to the pre-network-layer output.
+  if (report.contended) {
+    os << "Comm: " << report.comm_label
+       << " (contended fabric; simulated comm uses per-link DES)\n";
+  }
   std::vector<std::string> headers{"n", "speedup", "efficiency"};
   if (report.simulated.has_value()) headers.push_back("simulated_speedup");
   if (!report.measured.empty()) headers.push_back("measured_s");

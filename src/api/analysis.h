@@ -58,9 +58,10 @@ struct AnalysisOptions {
 
   /// Optional shared memoization cache for the scenario's ComputeSeconds /
   /// CommSeconds evaluations (not owned; nullptr = no caching). Keys embed
-  /// the scenario name — cells meant to share cached times share a name and
-  /// everything else sharing the cache MUST be named distinctly (mind the
-  /// builder's default name!); unnamed scenarios are rejected.
+  /// Scenario::CacheKey() — a digest of the full model including hardware,
+  /// parameters, and network (topology/queue) selection — so two cells share
+  /// cached times only when they price identically; unnamed scenarios are
+  /// still rejected to keep cache contents attributable.
   MemoCache* eval_cache = nullptr;
 
   /// Measured timing samples to compare the scenario against (not owned;
@@ -83,6 +84,15 @@ struct PlannerAnswer {
 /// Everything the paper asks of one scenario, in one struct.
 struct AnalysisReport {
   std::string scenario_name;
+
+  /// The communication model's decorated label ("ring-allreduce@fat-tree
+  /// (pod=4;os=4)/mm1") and whether it was priced on a non-ideal network.
+  /// When `contended` is set, the simulated curve (if requested) replaces
+  /// the analytic communication term with the per-link discrete-event
+  /// simulator, so model_vs_sim_mape doubles as the analytic-vs-DES
+  /// contention cross-check.
+  std::string comm_label;
+  bool contended = false;
 
   /// Analytic speedup curve over [1, max_nodes].
   core::SpeedupCurve curve;

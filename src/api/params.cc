@@ -9,10 +9,12 @@ namespace dmlscale::api {
 
 namespace {
 
-std::string JoinKeys(const std::map<std::string, double>& values) {
+std::string JoinKeys(const std::map<std::string, double>& values,
+                     const std::map<std::string, std::string>& strings) {
   std::vector<std::string> keys;
-  keys.reserve(values.size());
+  keys.reserve(values.size() + strings.size());
   for (const auto& [key, value] : values) keys.push_back(key);
+  for (const auto& [key, value] : strings) keys.push_back(key);
   return Join(keys, ", ", "<none>");
 }
 
@@ -22,7 +24,8 @@ Result<double> ModelParams::Get(const std::string& key) const {
   auto it = values_.find(key);
   if (it == values_.end()) {
     return Status::InvalidArgument("missing required parameter '" + key +
-                                   "' (provided: " + JoinKeys(values_) + ")");
+                                   "' (provided: " +
+                                   JoinKeys(values_, strings_) + ")");
   }
   return it->second;
 }
@@ -32,15 +35,38 @@ double ModelParams::GetOr(const std::string& key, double def) const {
   return it == values_.end() ? def : it->second;
 }
 
+Result<std::string> ModelParams::GetString(const std::string& key) const {
+  auto it = strings_.find(key);
+  if (it == strings_.end()) {
+    return Status::InvalidArgument("missing required string parameter '" +
+                                   key + "' (provided: " +
+                                   JoinKeys(values_, strings_) + ")");
+  }
+  return it->second;
+}
+
+std::string ModelParams::GetStringOr(const std::string& key,
+                                     std::string def) const {
+  auto it = strings_.find(key);
+  return it == strings_.end() ? std::move(def) : it->second;
+}
+
 Status ModelParams::ExpectOnly(
     std::initializer_list<std::string_view> allowed) const {
-  for (const auto& [key, value] : values_) {
+  auto check = [&](const std::string& key) -> Status {
     if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
       std::vector<std::string> known(allowed.begin(), allowed.end());
       return Status::InvalidArgument("unknown parameter '" + key +
                                      "' (accepted: " +
                                      Join(known, ", ", "<none>") + ")");
     }
+    return Status::OK();
+  };
+  for (const auto& [key, value] : values_) {
+    if (Status s = check(key); !s.ok()) return s;
+  }
+  for (const auto& [key, value] : strings_) {
+    if (Status s = check(key); !s.ok()) return s;
   }
   return Status::OK();
 }

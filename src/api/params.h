@@ -11,14 +11,16 @@
 
 namespace dmlscale::api {
 
-/// Named numeric parameters for a registered model factory, e.g.
+/// Named parameters for a registered model factory, e.g.
 /// `{{"total_flops", 196e9}}` for "perfectly-parallel" or
 /// `{{"bits", 64e6}, {"rounds", 2}}` for "tree".
 ///
 /// All model parameters in the paper's formulas are scalars (work, payload
-/// bits, fractions, round counts), so the bag holds doubles only; anything
-/// structural (hardware, link, callables) travels through the
-/// `ScenarioBuilder` instead.
+/// bits, fractions, round counts), so the numeric bag holds doubles;
+/// a separate string bag carries enumerated choices — the network keys
+/// `topology` ("fat-tree", "mesh2d", "star") and `queue` ("mm1") that select
+/// the fabric a communication model is priced on. Anything structural
+/// (hardware, link, callables) travels through the `ScenarioBuilder`.
 class ModelParams {
  public:
   ModelParams() = default;
@@ -29,25 +31,48 @@ class ModelParams {
     values_[std::move(key)] = value;
     return *this;
   }
+  /// String parameters; the const char* overload keeps `Set("queue", "mm1")`
+  /// from decaying into the double overload.
+  ModelParams& Set(std::string key, std::string value) {
+    strings_[std::move(key)] = std::move(value);
+    return *this;
+  }
+  ModelParams& Set(std::string key, const char* value) {
+    return Set(std::move(key), std::string(value));
+  }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  bool HasString(const std::string& key) const {
+    return strings_.count(key) > 0;
+  }
 
-  /// The value for `key`; kInvalidArgument naming the key and listing the
-  /// keys that were provided when absent.
+  /// The numeric value for `key`; kInvalidArgument naming the key and listing
+  /// the keys that were provided when absent.
   Result<double> Get(const std::string& key) const;
 
-  /// The value for `key`, or `def` when absent.
+  /// The numeric value for `key`, or `def` when absent.
   double GetOr(const std::string& key, double def) const;
 
+  /// The string value for `key`; kInvalidArgument when absent.
+  Result<std::string> GetString(const std::string& key) const;
+
+  /// The string value for `key`, or `def` when absent.
+  std::string GetStringOr(const std::string& key, std::string def) const;
+
   /// Guards against typo'd parameter names: kInvalidArgument naming each key
-  /// not in `allowed` (factories call this so `--rounds` misspelled as
-  /// `--round` fails loudly instead of silently using the default).
+  /// (numeric or string) not in `allowed` (factories call this so `--rounds`
+  /// misspelled as `--round` fails loudly instead of silently using the
+  /// default).
   Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
 
   const std::map<std::string, double>& values() const { return values_; }
+  const std::map<std::string, std::string>& strings() const {
+    return strings_;
+  }
 
  private:
   std::map<std::string, double> values_;
+  std::map<std::string, std::string> strings_;
 };
 
 }  // namespace dmlscale::api

@@ -2,6 +2,9 @@
 
 #include <memory>
 #include <utility>
+#include <vector>
+
+#include "api/network.h"
 
 namespace dmlscale::api {
 
@@ -48,7 +51,8 @@ DMLSCALE_REGISTER_COMPUTE_MODEL(
       }
       return std::unique_ptr<core::ComputationModel>(
           std::make_unique<core::PerfectlyParallelCompute>(total_flops, node));
-    });
+    },
+    ModelParams{{"total_flops", 196e9}});
 
 DMLSCALE_REGISTER_COMPUTE_MODEL(
     "amdahl", "total_flops, serial_fraction",
@@ -65,12 +69,16 @@ DMLSCALE_REGISTER_COMPUTE_MODEL(
       }
       return std::unique_ptr<core::ComputationModel>(
           std::make_unique<core::AmdahlCompute>(total_flops, serial, node));
-    });
+    },
+    ModelParams{{"total_flops", 196e9}, {"serial_fraction", 0.05}});
 
 // ---------------------------------------------------------------------------
 // Built-in communication models. `bits` is the collective's payload; the
 // composite "spark-gd" is the Fig. 2 protocol (torrent broadcast of the
-// parameters followed by two-wave aggregation, Section V-A).
+// parameters followed by two-wave aggregation, Section V-A). Every factory
+// additionally accepts the network keys of api/network.h (`topology`,
+// `queue`, ...), so any collective can be priced on a contended fabric
+// without caller changes.
 // ---------------------------------------------------------------------------
 
 Result<double> PositiveBits(const ModelParams& params) {
@@ -80,9 +88,12 @@ Result<double> PositiveBits(const ModelParams& params) {
 }
 
 DMLSCALE_REGISTER_COMM_MODEL(
-    "shared-memory", "(no parameters)",
+    "shared-memory", "(no parameters; network keys accepted and ignored)",
     [](const ModelParams& params, const core::LinkSpec&) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {}));
+      // Validate but discard the network selection: shared memory moves no
+      // network traffic, so sweeps may apply a topology axis uniformly.
+      DMLSCALE_RETURN_NOT_OK(ResolveNetworkSpec(params).status());
       return std::unique_ptr<core::CommunicationModel>(
           std::make_unique<core::SharedMemoryComm>());
     });
@@ -90,86 +101,127 @@ DMLSCALE_REGISTER_COMM_MODEL(
 DMLSCALE_REGISTER_COMM_MODEL(
     "linear", "bits (per node, through a single master)",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::LinearComm>(bits, link));
-    });
+          std::make_unique<core::LinearComm>(bits, link, std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "fixed-volume", "bits (independent of n)",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::FixedVolumeComm>(bits, link));
-    });
+          std::make_unique<core::FixedVolumeComm>(bits, link,
+                                                  std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "tree", "bits, rounds (default 1; generic GD uses 2)",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits", "rounds"}));
+      DMLSCALE_RETURN_NOT_OK(
+          ExpectOnlyWithNetworkKeys(params, {"bits", "rounds"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
       double rounds = params.GetOr("rounds", 1.0);
       if (rounds <= 0.0) return Status::InvalidArgument("rounds must be > 0");
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::TreeComm>(bits, link, rounds));
-    });
+          std::make_unique<core::TreeComm>(bits, link, rounds,
+                                           std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}, {"rounds", 2}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "torrent-broadcast", "bits",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::TorrentBroadcastComm>(bits, link));
-    });
+          std::make_unique<core::TorrentBroadcastComm>(bits, link,
+                                                       std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "two-wave", "bits",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::TwoWaveAggregationComm>(bits, link));
-    });
+          std::make_unique<core::TwoWaveAggregationComm>(bits, link,
+                                                         std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "ring-allreduce", "bits",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::RingAllReduceComm>(bits, link));
-    });
+          std::make_unique<core::RingAllReduceComm>(bits, link,
+                                                    std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "recursive-doubling", "bits",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::RecursiveDoublingComm>(bits, link));
-    });
+          std::make_unique<core::RecursiveDoublingComm>(bits, link,
+                                                        std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "shuffle", "bits (total volume across all nodes)",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
       return std::unique_ptr<core::CommunicationModel>(
-          std::make_unique<core::ShuffleComm>(bits, link));
-    });
+          std::make_unique<core::ShuffleComm>(bits, link, std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 DMLSCALE_REGISTER_COMM_MODEL(
     "spark-gd", "bits (torrent broadcast + two-wave aggregation, Fig. 2)",
     [](const ModelParams& params, const core::LinkSpec& link) -> CommResult {
-      DMLSCALE_RETURN_NOT_OK(params.ExpectOnly({"bits"}));
+      DMLSCALE_RETURN_NOT_OK(ExpectOnlyWithNetworkKeys(params, {"bits"}));
       DMLSCALE_ASSIGN_OR_RETURN(double bits, PositiveBits(params));
-      return std::unique_ptr<core::CommunicationModel>(core::CompositeComm::Of(
-          std::make_unique<core::TorrentBroadcastComm>(bits, link),
-          std::make_unique<core::TwoWaveAggregationComm>(bits, link)));
-    });
+      DMLSCALE_ASSIGN_OR_RETURN(core::NetworkSpec network,
+                                ResolveNetworkSpec(params));
+      // Stages price their own traffic on the shared fabric; the composite
+      // itself keeps a copy only so its label carries the decoration.
+      std::vector<std::unique_ptr<core::CommunicationModel>> stages;
+      stages.push_back(
+          std::make_unique<core::TorrentBroadcastComm>(bits, link, network));
+      stages.push_back(
+          std::make_unique<core::TwoWaveAggregationComm>(bits, link, network));
+      return std::unique_ptr<core::CommunicationModel>(
+          std::make_unique<core::CompositeComm>(std::move(stages),
+                                                std::move(network)));
+    },
+    ModelParams{{"bits", 64e6}});
 
 }  // namespace
 }  // namespace dmlscale::api

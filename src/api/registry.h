@@ -34,16 +34,18 @@ class ModelRegistry {
       const ModelParams& params, const SpecT& spec)>;
 
   /// Registers `factory` under `name`. `params_help` is a one-line summary
-  /// of the accepted parameters, surfaced by Help(). Duplicate names are a
-  /// programming error: kFailedPrecondition.
+  /// of the accepted parameters, surfaced by Help(); `example` is a bag the
+  /// factory is guaranteed to accept (property tests construct every entry
+  /// from it). Duplicate names are a programming error: kFailedPrecondition.
   Status Register(const std::string& name, std::string params_help,
-                  Factory factory) {
+                  Factory factory, ModelParams example = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (name.empty()) {
       return Status::InvalidArgument("model name must not be empty");
     }
-    auto [it, inserted] =
-        entries_.emplace(name, Entry{std::move(params_help), std::move(factory)});
+    auto [it, inserted] = entries_.emplace(
+        name, Entry{std::move(params_help), std::move(factory),
+                    std::move(example)});
     if (!inserted) {
       return Status::FailedPrecondition("model '" + name +
                                         "' is already registered");
@@ -77,6 +79,17 @@ class ModelRegistry {
     return entries_.count(name) > 0;
   }
 
+  /// The documented example parameter bag registered for `name` (possibly
+  /// empty); kNotFound for unknown names.
+  Result<ModelParams> Example(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("unknown model '" + name + "'");
+    }
+    return it->second.example;
+  }
+
   /// All registered names, sorted (std::map order).
   std::vector<std::string> Names() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -100,6 +113,7 @@ class ModelRegistry {
   struct Entry {
     std::string params_help;
     Factory factory;
+    ModelParams example;
   };
 
   mutable std::mutex mutex_;
@@ -124,25 +138,28 @@ namespace internal {
 bool RegisterOrDie(const Status& status);
 }  // namespace internal
 
-/// Self-registration of a computation-model factory:
+/// Self-registration of a computation-model factory. The optional trailing
+/// argument is the documented example ModelParams (see Register):
 ///
 ///   DMLSCALE_REGISTER_COMPUTE_MODEL(
 ///       "my-compute", "total_flops",
 ///       [](const api::ModelParams& p, const core::NodeSpec& node)
-///           -> Result<std::unique_ptr<core::ComputationModel>> { ... });
-#define DMLSCALE_REGISTER_COMPUTE_MODEL(name, params_help, factory)          \
+///           -> Result<std::unique_ptr<core::ComputationModel>> { ... },
+///       api::ModelParams{{"total_flops", 1e9}});
+#define DMLSCALE_REGISTER_COMPUTE_MODEL(name, params_help, factory, ...)     \
   static const bool DMLSCALE_STATUS_CONCAT_(dmlscale_compute_registered_,    \
                                             __COUNTER__) [[maybe_unused]] =  \
       ::dmlscale::api::internal::RegisterOrDie(                              \
-          ::dmlscale::api::ComputeModels().Register(name, params_help,       \
-                                                    factory))
+          ::dmlscale::api::ComputeModels().Register(                         \
+              name, params_help, factory __VA_OPT__(, ) __VA_ARGS__))
 
 /// Self-registration of a communication-model factory (see above).
-#define DMLSCALE_REGISTER_COMM_MODEL(name, params_help, factory)             \
+#define DMLSCALE_REGISTER_COMM_MODEL(name, params_help, factory, ...)        \
   static const bool DMLSCALE_STATUS_CONCAT_(dmlscale_comm_registered_,       \
                                             __COUNTER__) [[maybe_unused]] =  \
       ::dmlscale::api::internal::RegisterOrDie(                              \
-          ::dmlscale::api::CommModels().Register(name, params_help, factory))
+          ::dmlscale::api::CommModels().Register(                            \
+              name, params_help, factory __VA_OPT__(, ) __VA_ARGS__))
 
 }  // namespace dmlscale::api
 

@@ -1,6 +1,8 @@
 #include "api/scenario.h"
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <utility>
 
 #include "api/registry.h"
@@ -34,6 +36,67 @@ Scenario Scenario::Calibrated(double compute_coefficient,
   calibrated.compute_coefficient_ *= compute_coefficient;
   calibrated.comm_coefficient_ *= comm_coefficient;
   return calibrated;
+}
+
+namespace {
+
+/// 64-bit FNV-1a; stable across platforms, cheap, and collision-safe enough
+/// for an in-process memo cache (a collision only merges two cache rows).
+uint64_t Fnv1a(const std::string& text, uint64_t hash) {
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void AppendExact(std::string* blob, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g;", value);
+  *blob += buf;
+}
+
+}  // namespace
+
+std::string Scenario::CacheKey() const {
+  std::string blob = name_;
+  blob += '|';
+  blob += compute_name_;
+  blob += '|';
+  blob += comm_name_;
+  blob += '|';
+  blob += comm_label();  // carries the network decoration
+  blob += '|';
+  for (const auto& [key, value] : compute_params_.values()) {
+    blob += key;
+    blob += '=';
+    AppendExact(&blob, value);
+  }
+  blob += '|';
+  for (const auto& [key, value] : comm_params_.values()) {
+    blob += key;
+    blob += '=';
+    AppendExact(&blob, value);
+  }
+  for (const auto& [key, value] : comm_params_.strings()) {
+    blob += key;
+    blob += '=';
+    blob += value;
+    blob += ';';
+  }
+  blob += '|';
+  AppendExact(&blob, cluster_.node.EffectiveFlops());
+  AppendExact(&blob, cluster_.link.bandwidth_bps);
+  AppendExact(&blob, cluster_.link.latency_s);
+  AppendExact(&blob, static_cast<double>(supersteps_));
+  AppendExact(&blob, compute_coefficient_);
+  AppendExact(&blob, comm_coefficient_);
+
+  char digest[17];
+  std::snprintf(digest, sizeof(digest), "%016llx",
+                static_cast<unsigned long long>(
+                    Fnv1a(blob, 0xcbf29ce484222325ULL)));
+  return name_ + "#" + digest;
 }
 
 Result<core::SpeedupCurve> Scenario::Speedup(int max_nodes,
@@ -203,6 +266,7 @@ Result<Scenario> Scenario::Builder::Build() const {
       std::move(compute), std::move(comm), name_ + "-superstep");
   scenario.compute_name_ = std::move(compute_name);
   scenario.comm_name_ = std::move(comm_name);
+  scenario.compute_params_ = compute_params_;
   scenario.comm_params_ = std::move(comm_params);
   scenario.compute_coefficient_ = compute_coefficient_;
   scenario.comm_coefficient_ = comm_coefficient_;

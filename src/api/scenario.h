@@ -83,6 +83,23 @@ class Scenario final : public core::AlgorithmModel {
   /// the simulator's serialization overhead needs).
   const ModelParams& comm_params() const { return comm_params_; }
 
+  /// The resolved communication model (network spec, traffic patterns).
+  const core::CommunicationModel& comm() const { return step_->comm(); }
+  /// The communication model's decorated label, e.g.
+  /// "ring-allreduce@fat-tree(pod=4;os=4)/mm1"; equals comm_name's model
+  /// name on the paper's ideal network.
+  std::string comm_label() const { return step_->comm().label(); }
+  /// True when the scenario prices communication on a non-ideal network —
+  /// per-link contention and queueing apply.
+  bool contended() const { return !step_->comm().network().Ideal(); }
+
+  /// A digest uniquely identifying the scenario's MODEL — name, hardware,
+  /// model names, every parameter (numeric and string, so topology/queue
+  /// selections count), supersteps, coefficients. Memoization keys MUST use
+  /// this instead of name(): two sweep cells differing only in
+  /// `oversubscription` share a name but not a communication time.
+  std::string CacheKey() const;
+
   /// Convenience: the strong-scaling speedup curve up to `max_nodes`
   /// (0 = the cluster's max_nodes).
   Result<core::SpeedupCurve> Speedup(int max_nodes = 0,
@@ -98,6 +115,7 @@ class Scenario final : public core::AlgorithmModel {
   std::shared_ptr<const core::Superstep> step_;
   std::string compute_name_;
   std::string comm_name_;
+  ModelParams compute_params_;
   ModelParams comm_params_;
   double compute_coefficient_ = 1.0;
   double comm_coefficient_ = 1.0;

@@ -1,0 +1,59 @@
+#ifndef DMLSCALE_CORE_NETWORK_H_
+#define DMLSCALE_CORE_NETWORK_H_
+
+#include <memory>
+#include <string>
+
+#include "core/hardware.h"
+#include "core/queueing.h"
+#include "core/topology.h"
+
+namespace dmlscale::core {
+
+/// Topology + queueing discipline, shared by every stage of a communication
+/// model. Null members mean the ideal default (non-blocking crossbar,
+/// queue-free); a default-constructed NetworkSpec IS the paper's network
+/// assumption, which is what keeps every pre-existing caller's numbers
+/// bit-identical.
+struct NetworkSpec {
+  std::shared_ptr<const Topology> topology;  // nullptr = ideal switch
+  std::shared_ptr<const QueueModel> queue;   // nullptr = queue-free
+
+  /// True when pricing through this network reproduces the contention-free
+  /// closed forms (ideal topology AND free queue): CommunicationModel then
+  /// short-circuits to the legacy expressions.
+  bool Ideal() const {
+    return (topology == nullptr || topology->ideal()) &&
+           (queue == nullptr || queue->free());
+  }
+
+  /// "" when ideal, else "@<topology>/<queue>" — appended to communication
+  /// model names so report rows identify the fabric they were priced on.
+  std::string Decoration() const;
+
+  /// The effective members (never null): the ideal switch / free queue
+  /// singletons when unset.
+  const Topology& EffectiveTopology() const;
+  const QueueModel& EffectiveQueue() const;
+};
+
+/// Analytic price of one traffic round on `n` nodes: accumulate per-link
+/// loads over the topology's routes, then complete every flow at
+///
+///   max over links of (service + QueueModel wait) + hops * link latency
+///
+/// where service = flow bits / link bandwidth. The round lasts until its
+/// slowest flow; `repeat` scales the result. With the free queue this is the
+/// contention-free bottleneck-bandwidth time; with M/M/1 waiting a link's
+/// term grows to its full drain (load / bandwidth), matching the FIFO
+/// discrete-event simulator on synchronized rounds.
+double RoundSeconds(const TrafficRound& round, int n, const LinkSpec& edge,
+                    const NetworkSpec& network);
+
+/// Sum of RoundSeconds over the pattern.
+double PatternSeconds(const TrafficPattern& pattern, int n,
+                      const LinkSpec& edge, const NetworkSpec& network);
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_NETWORK_H_

@@ -1,0 +1,45 @@
+#include "core/queueing.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace dmlscale::core {
+
+namespace {
+
+void CheckWaitArgs(double other_share, double service_s) {
+  DMLSCALE_CHECK_GE(other_share, 0.0);
+  DMLSCALE_CHECK_LT(other_share, 1.0);
+  DMLSCALE_CHECK_GE(service_s, 0.0);
+}
+
+}  // namespace
+
+double QueueFreeModel::WaitSeconds(double other_share,
+                                   double service_s) const {
+  CheckWaitArgs(other_share, service_s);
+  return 0.0;
+}
+
+Mm1QueueModel::Mm1QueueModel(double background) : background_(background) {
+  DMLSCALE_CHECK_GE(background, 0.0);
+  DMLSCALE_CHECK_LT(background, 1.0);
+}
+
+std::string Mm1QueueModel::name() const {
+  if (background_ == 0.0) return "mm1";
+  return "mm1(load=" + FormatDouble(background_, 2) + ")";
+}
+
+double Mm1QueueModel::WaitSeconds(double other_share,
+                                  double service_s) const {
+  CheckWaitArgs(other_share, service_s);
+  double rho = background_ + (1.0 - background_) * other_share;
+  return rho / (1.0 - rho) * service_s;
+}
+
+double Mm1QueueModel::ServiceInflation() const {
+  return 1.0 / (1.0 - background_);
+}
+
+}  // namespace dmlscale::core

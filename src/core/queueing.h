@@ -1,0 +1,75 @@
+#ifndef DMLSCALE_CORE_QUEUEING_H_
+#define DMLSCALE_CORE_QUEUEING_H_
+
+#include <string>
+
+namespace dmlscale::core {
+
+/// Converts a shared link's offered load into the expected time a message
+/// waits before its own transmission starts. The analytic network layer
+/// (network.h) calls this once per (flow, link); the discrete-event
+/// simulator (sim/network_sim.h) only uses ServiceInflation() — its FIFO
+/// link queues produce the waiting explicitly.
+///
+/// `other_share` is the fraction of the link's per-round drain contributed
+/// by OTHER flows (in [0, 1)): k equal messages through one link give each
+/// message other_share = (k-1)/k. A model may add exogenous background
+/// utilization on top (multi-tenant fabrics).
+class QueueModel {
+ public:
+  virtual ~QueueModel() = default;
+
+  /// Display name, e.g. "mm1(load=0.50)". Same character restrictions as
+  /// Topology::name().
+  virtual std::string name() const = 0;
+
+  /// True for the null model: zero waiting, the contention-free assumption
+  /// of the paper's closed forms.
+  virtual bool free() const { return false; }
+
+  /// Expected waiting time before a message whose own transmission takes
+  /// `service_s` seconds starts, on a link where other traffic holds
+  /// `other_share` of the drain.
+  virtual double WaitSeconds(double other_share, double service_s) const = 0;
+
+  /// Multiplier >= 1 applied to every service time by the discrete-event
+  /// simulator (background utilization stretches transmissions; queueing
+  /// behind peer flows is simulated, not modeled).
+  virtual double ServiceInflation() const { return 1.0; }
+};
+
+/// No waiting at all. Combined with IdealSwitchTopology this reproduces the
+/// paper's closed-form communication times exactly.
+class QueueFreeModel final : public QueueModel {
+ public:
+  std::string name() const override { return "queue-free"; }
+  bool free() const override { return true; }
+  double WaitSeconds(double other_share, double service_s) const override;
+};
+
+/// M/M/1-style waiting: W = rho / (1 - rho) * service, with utilization
+/// rho = background + (1 - background) * other_share.
+///
+/// The functional form is Little's-law M/M/1 waiting; feeding it the
+/// per-round drain share makes it exact for synchronized rounds: with k
+/// equal messages on one link, service + W = k * service — precisely the
+/// FIFO drain the discrete-event simulator produces, so analytic and
+/// simulated contention agree on single-bottleneck rounds by construction.
+/// `background` in [0, 1) is exogenous utilization from traffic outside the
+/// modeled job; it inflates effective service by 1 / (1 - background).
+class Mm1QueueModel final : public QueueModel {
+ public:
+  explicit Mm1QueueModel(double background = 0.0);
+  std::string name() const override;
+  double WaitSeconds(double other_share, double service_s) const override;
+  double ServiceInflation() const override;
+
+  double background() const { return background_; }
+
+ private:
+  double background_;
+};
+
+}  // namespace dmlscale::core
+
+#endif  // DMLSCALE_CORE_QUEUEING_H_

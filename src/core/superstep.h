@@ -39,6 +39,8 @@ class Superstep final : public AlgorithmModel {
   double ComputeSeconds(int n) const { return compute_->Seconds(n); }
   /// The communication term alone.
   double CommSeconds(int n) const { return comm_->Seconds(n); }
+  /// The communication model itself (network decoration, traffic patterns).
+  const CommunicationModel& comm() const { return *comm_; }
 
  private:
   std::unique_ptr<ComputationModel> compute_;

@@ -1,0 +1,170 @@
+#include "core/topology.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/math_util.h"
+#include "common/string_util.h"
+
+namespace dmlscale::core {
+
+namespace {
+
+void CheckEndpoints(int src, int dst, int n) {
+  DMLSCALE_CHECK_GE(n, 1);
+  DMLSCALE_CHECK_GE(src, 0);
+  DMLSCALE_CHECK_LT(src, n);
+  DMLSCALE_CHECK_GE(dst, 0);
+  DMLSCALE_CHECK_LT(dst, n);
+}
+
+}  // namespace
+
+double TrafficPattern::TotalBits() const {
+  double total = 0.0;
+  for (const TrafficRound& round : rounds) {
+    double round_bits = 0.0;
+    for (const Flow& flow : round.flows) round_bits += flow.bits;
+    total += round.repeat * round_bits;
+  }
+  return total;
+}
+
+void TrafficPattern::Append(const TrafficPattern& other) {
+  rounds.insert(rounds.end(), other.rounds.begin(), other.rounds.end());
+}
+
+double Topology::BandwidthScale(int link, int n) const {
+  DMLSCALE_CHECK_GE(link, 0);
+  DMLSCALE_CHECK_LT(link, NumLinks(n));
+  return 1.0;
+}
+
+void IdealSwitchTopology::AppendRoute(int src, int dst, int n,
+                                      std::vector<int>* path) const {
+  CheckEndpoints(src, dst, n);
+  if (src == dst) return;
+  path->push_back(src);      // egress NIC of src
+  path->push_back(n + dst);  // ingress NIC of dst
+}
+
+StarTopology::StarTopology(double backplane_scale)
+    : backplane_scale_(backplane_scale) {
+  DMLSCALE_CHECK_GT(backplane_scale, 0.0);
+}
+
+std::string StarTopology::name() const {
+  return "star(backplane=" + FormatDouble(backplane_scale_, 2) + ")";
+}
+
+void StarTopology::AppendRoute(int src, int dst, int n,
+                               std::vector<int>* path) const {
+  CheckEndpoints(src, dst, n);
+  if (src == dst) return;
+  path->push_back(src);      // egress
+  path->push_back(2 * n);    // shared backplane
+  path->push_back(n + dst);  // ingress
+}
+
+double StarTopology::BandwidthScale(int link, int n) const {
+  DMLSCALE_CHECK_GE(link, 0);
+  DMLSCALE_CHECK_LT(link, NumLinks(n));
+  return link == 2 * n ? backplane_scale_ : 1.0;
+}
+
+FatTreeTopology::FatTreeTopology(int pod_size, double oversubscription)
+    : pod_size_(pod_size), oversubscription_(oversubscription) {
+  DMLSCALE_CHECK_GE(pod_size, 2);
+  DMLSCALE_CHECK_GE(oversubscription, 1.0);
+}
+
+std::string FatTreeTopology::name() const {
+  return "fat-tree(pod=" + std::to_string(pod_size_) +
+         ";os=" + FormatDouble(oversubscription_, 2) + ")";
+}
+
+int FatTreeTopology::NumLinks(int n) const {
+  // Per node: egress [0, n) and ingress [n, 2n). Per pod: one up link
+  // [2n, 2n + P) and one down link [2n + P, 2n + 2P) to the core.
+  return 2 * n + 2 * NumPods(n);
+}
+
+void FatTreeTopology::AppendRoute(int src, int dst, int n,
+                                  std::vector<int>* path) const {
+  CheckEndpoints(src, dst, n);
+  if (src == dst) return;
+  int src_pod = src / pod_size_;
+  int dst_pod = dst / pod_size_;
+  path->push_back(src);
+  if (src_pod != dst_pod) {
+    int pods = NumPods(n);
+    path->push_back(2 * n + src_pod);         // pod uplink into the core
+    path->push_back(2 * n + pods + dst_pod);  // core downlink into dst's pod
+  }
+  path->push_back(n + dst);
+}
+
+double FatTreeTopology::BandwidthScale(int link, int n) const {
+  DMLSCALE_CHECK_GE(link, 0);
+  DMLSCALE_CHECK_LT(link, NumLinks(n));
+  if (link < 2 * n) return 1.0;
+  // A pod's core links aggregate its pod_size edge links, divided by the
+  // oversubscription ratio — the fabric's full-bisection shortfall.
+  return static_cast<double>(pod_size_) / oversubscription_;
+}
+
+Mesh2dTopology::Mesh2dTopology(int width) : width_(width) {
+  DMLSCALE_CHECK_GE(width, 0);
+}
+
+std::string Mesh2dTopology::name() const {
+  return width_ == 0 ? "mesh-2d"
+                     : "mesh-2d(width=" + std::to_string(width_) + ")";
+}
+
+int Mesh2dTopology::NumLinks(int n) const {
+  int width = WidthFor(n);
+  int height = (n + width - 1) / width;
+  return 4 * width * height;
+}
+
+int Mesh2dTopology::WidthFor(int n) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (width_ > 0) return width_;
+  return static_cast<int>(CeilSqrt(static_cast<uint64_t>(n)));
+}
+
+void Mesh2dTopology::AppendRoute(int src, int dst, int n,
+                                 std::vector<int>* path) const {
+  CheckEndpoints(src, dst, n);
+  if (src == dst) return;
+  int width = WidthFor(n);
+  int x = src % width;
+  int y = src / width;
+  int dst_x = dst % width;
+  int dst_y = dst / width;
+  // XY dimension-order routing; link ids are node * 4 + direction with
+  // directions +x, -x, +y, -y. Deterministic and deadlock-free.
+  while (x != dst_x) {
+    int node = y * width + x;
+    if (x < dst_x) {
+      path->push_back(node * 4 + 0);
+      ++x;
+    } else {
+      path->push_back(node * 4 + 1);
+      --x;
+    }
+  }
+  while (y != dst_y) {
+    int node = y * width + x;
+    if (y < dst_y) {
+      path->push_back(node * 4 + 2);
+      ++y;
+    } else {
+      path->push_back(node * 4 + 3);
+      --y;
+    }
+  }
+}
+
+}  // namespace dmlscale::core

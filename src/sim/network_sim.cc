@@ -1,0 +1,95 @@
+#include "sim/network_sim.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace dmlscale::sim {
+
+namespace {
+
+/// A flow's head arriving at its next hop. Ordered by (time, seq): seq is
+/// assigned monotonically at push, so simultaneous arrivals are served in
+/// push order — deterministic FIFO regardless of heap internals.
+struct Arrival {
+  double time = 0.0;
+  uint64_t seq = 0;
+  int flow = 0;
+  int hop = 0;
+};
+
+struct LaterArrival {
+  bool operator()(const Arrival& a, const Arrival& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+}  // namespace
+
+double SimulateRoundSeconds(const core::TrafficRound& round, int n,
+                            const core::LinkSpec& edge,
+                            const core::NetworkSpec& network) {
+  DMLSCALE_CHECK_GE(n, 1);
+  DMLSCALE_CHECK_GE(round.repeat, 0.0);
+  if (round.flows.empty()) return 0.0;
+  DMLSCALE_CHECK_GT(edge.bandwidth_bps, 0.0);
+  const core::Topology& topology = network.EffectiveTopology();
+  const double inflation = network.EffectiveQueue().ServiceInflation();
+
+  std::vector<std::vector<int>> paths(round.flows.size());
+  for (size_t f = 0; f < round.flows.size(); ++f) {
+    const core::Flow& flow = round.flows[f];
+    DMLSCALE_CHECK_GE(flow.bits, 0.0);
+    topology.AppendRoute(flow.src, flow.dst, n, &paths[f]);
+  }
+
+  std::vector<double> link_free(static_cast<size_t>(topology.NumLinks(n)),
+                                0.0);
+  std::priority_queue<Arrival, std::vector<Arrival>, LaterArrival> events;
+  uint64_t seq = 0;
+  for (size_t f = 0; f < round.flows.size(); ++f) {
+    if (paths[f].empty()) continue;  // src == dst: local hand-off, free
+    events.push(Arrival{0.0, seq++, static_cast<int>(f), 0});
+  }
+
+  double finish = 0.0;
+  while (!events.empty()) {
+    const Arrival arrival = events.top();
+    events.pop();
+    const std::vector<int>& path = paths[static_cast<size_t>(arrival.flow)];
+    const int link = path[static_cast<size_t>(arrival.hop)];
+    const double bandwidth = edge.bandwidth_bps *
+                             topology.BandwidthScale(link, n);
+    DMLSCALE_CHECK_GT(bandwidth, 0.0);
+    const double service =
+        round.flows[static_cast<size_t>(arrival.flow)].bits / bandwidth *
+        inflation;
+    double& free_at = link_free[static_cast<size_t>(link)];
+    const double start = std::max(arrival.time, free_at);
+    free_at = start + service;
+    if (arrival.hop + 1 < static_cast<int>(path.size())) {
+      events.push(
+          Arrival{start + edge.latency_s, seq++, arrival.flow,
+                  arrival.hop + 1});
+    } else {
+      finish = std::max(finish, start + service + edge.latency_s);
+    }
+  }
+  return finish;
+}
+
+double SimulatePatternSeconds(const core::TrafficPattern& pattern, int n,
+                              const core::LinkSpec& edge,
+                              const core::NetworkSpec& network) {
+  double total = 0.0;
+  for (const core::TrafficRound& round : pattern.rounds) {
+    total += round.repeat * SimulateRoundSeconds(round, n, edge, network);
+  }
+  return total;
+}
+
+}  // namespace dmlscale::sim

@@ -49,6 +49,24 @@ ScenarioAxisPoint CalibratedAxisPoint(const ScenarioAxisPoint& base,
   return point;
 }
 
+std::vector<ScenarioAxisPoint> ExpandNetworkAxis(
+    const ScenarioAxisPoint& base, const std::vector<NetworkAxisPoint>& axis) {
+  std::vector<ScenarioAxisPoint> expanded;
+  expanded.reserve(axis.size());
+  for (const NetworkAxisPoint& network : axis) {
+    ScenarioAxisPoint point = base;
+    point.label = base.label + "-" + network.label;
+    for (const auto& [key, value] : network.params.values()) {
+      point.comm_params.Set(key, value);
+    }
+    for (const auto& [key, value] : network.params.strings()) {
+      point.comm_params.Set(key, value);
+    }
+    expanded.push_back(std::move(point));
+  }
+  return expanded;
+}
+
 SweepGrid& SweepGrid::AddScenario(ScenarioAxisPoint point) {
   scenarios_.push_back(std::move(point));
   return *this;

@@ -41,6 +41,22 @@ ScenarioAxisPoint CalibratedAxisPoint(const ScenarioAxisPoint& base,
                                       double compute_coefficient,
                                       double comm_coefficient);
 
+/// One point on a TOPOLOGY ablation axis: a label plus the network keys of
+/// api/network.h (`topology`, `queue`, `oversubscription`, ...). An empty
+/// bag is the paper's ideal network.
+struct NetworkAxisPoint {
+  std::string label;
+  api::ModelParams params;
+};
+
+/// Expands `base` into one scenario point per network: each copy is labeled
+/// "<base label>-<network label>" and has the network keys merged into its
+/// comm params (network keys already present in `base` are overridden).
+/// Appending the result to a grid turns the scenario axis into a
+/// scenario x topology product — the contention ablation of the sweep.
+std::vector<ScenarioAxisPoint> ExpandNetworkAxis(
+    const ScenarioAxisPoint& base, const std::vector<NetworkAxisPoint>& axis);
+
 /// One point on the hardware axis: a named cluster (node, link, max_nodes,
 /// shared_memory), typically from `api::presets`.
 struct HardwareAxisPoint {

@@ -62,14 +62,15 @@ std::vector<size_t> SweepReport::RankByPeakSpeedup() const {
 }
 
 std::string SweepReport::ToCsv() const {
-  CsvWriter csv({"cell", "scenario", "hardware", "options", "status",
+  CsvWriter csv({"cell", "scenario", "hardware", "options", "comm", "status",
                  "t_ref_s", "optimal_nodes", "first_local_peak",
                  "peak_speedup", "peak_efficiency", "scalable", "q1_nodes",
                  "q2_nodes", "mape_pct", "measured_mape_pct"});
   for (const SweepCellResult& cell : cells) {
     std::vector<std::string> row{std::to_string(cell.index),
                                  cell.scenario_label, cell.hardware_label,
-                                 cell.options_label};
+                                 cell.options_label,
+                                 cell.ok() ? cell.report.comm_label : ""};
     if (cell.ok()) {
       const api::AnalysisReport& r = cell.report;
       row.insert(row.end(),

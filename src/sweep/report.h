@@ -54,13 +54,16 @@ struct SweepReport {
   std::vector<size_t> RankByPeakSpeedup() const;
 
   /// One row per cell, grid order. Header:
-  ///   cell,scenario,hardware,options,status,t_ref_s,optimal_nodes,
+  ///   cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,
   ///   first_local_peak,peak_speedup,peak_efficiency,scalable,
   ///   q1_nodes,q2_nodes,mape_pct,measured_mape_pct
-  /// Numeric columns are empty for failed cells; q1/q2 are empty when the
-  /// planner question was not asked and "n/a" when unachievable; mape_pct is
-  /// empty when the cell did not simulate; measured_mape_pct is empty unless
-  /// the cell's options carried measured timing samples.
+  /// `comm` is the decorated communication label (with its @topology/queue
+  /// suffix on contended cells), so topology-ablation rows stay
+  /// distinguishable even under shared scenario labels. Numeric columns are
+  /// empty for failed cells; q1/q2 are empty when the planner question was
+  /// not asked and "n/a" when unachievable; mape_pct is empty when the cell
+  /// did not simulate; measured_mape_pct is empty unless the cell's options
+  /// carried measured timing samples.
   std::string ToCsv() const;
 
   /// The best-cell ranking (top `top_k` rows) with per-cell optimal nodes,

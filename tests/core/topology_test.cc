@@ -1,0 +1,226 @@
+#include "core/topology.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/network.h"
+#include "core/queueing.h"
+
+namespace dmlscale::core {
+namespace {
+
+std::vector<int> Route(const Topology& topo, int src, int dst, int n) {
+  std::vector<int> path;
+  topo.AppendRoute(src, dst, n, &path);
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Ideal switch
+// ---------------------------------------------------------------------------
+
+TEST(IdealSwitchTopologyTest, RoutesThroughEgressAndIngress) {
+  IdealSwitchTopology topo;
+  EXPECT_TRUE(topo.ideal());
+  EXPECT_EQ(topo.NumLinks(8), 16);
+  // Route = {egress(src), ingress(dst)}; ingress ids start at n.
+  EXPECT_EQ(Route(topo, 3, 5, 8), (std::vector<int>{3, 8 + 5}));
+  // Local hand-off crosses no links.
+  EXPECT_TRUE(Route(topo, 4, 4, 8).empty());
+  EXPECT_DOUBLE_EQ(topo.BandwidthScale(0, 8), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Star
+// ---------------------------------------------------------------------------
+
+TEST(StarTopologyTest, EveryRouteCrossesTheBackplane) {
+  StarTopology topo(/*backplane_scale=*/2.0);
+  EXPECT_FALSE(topo.ideal());
+  EXPECT_EQ(topo.NumLinks(4), 9);  // 2n endpoint links + 1 backplane.
+  // Route = {egress(src), backplane, ingress(dst)}; backplane id is 2n.
+  EXPECT_EQ(Route(topo, 1, 3, 4), (std::vector<int>{1, 8, 4 + 3}));
+  EXPECT_DOUBLE_EQ(topo.BandwidthScale(/*link=*/8, 4), 2.0);
+  EXPECT_DOUBLE_EQ(topo.BandwidthScale(/*link=*/0, 4), 1.0);
+  EXPECT_TRUE(Route(topo, 2, 2, 4).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Fat-tree
+// ---------------------------------------------------------------------------
+
+TEST(FatTreeTopologyTest, IntraPodRoutesSkipTheCore) {
+  FatTreeTopology topo(/*pod_size=*/4, /*oversubscription=*/4.0);
+  // Nodes 0..3 share pod 0: plain egress/ingress, no up/down links.
+  EXPECT_EQ(Route(topo, 0, 3, 16), (std::vector<int>{0, 16 + 3}));
+}
+
+TEST(FatTreeTopologyTest, InterPodRoutesAddUpAndDownLinks) {
+  const int n = 16;  // 4 pods of 4.
+  FatTreeTopology topo(/*pod_size=*/4, /*oversubscription=*/4.0);
+  // src 1 (pod 0) -> dst 9 (pod 2): egress, up(pod 0), down(pod 2), ingress.
+  std::vector<int> path = Route(topo, 1, 9, n);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path[0], 1);           // egress(src)
+  EXPECT_EQ(path[3], n + 9);       // ingress(dst)
+  // The middle links are core links (ids beyond the 2n endpoint links) and
+  // carry pod_size / oversubscription = 1.0x edge bandwidth at 4:1.
+  EXPECT_GE(path[1], 2 * n);
+  EXPECT_GE(path[2], 2 * n);
+  EXPECT_NE(path[1], path[2]);
+  EXPECT_DOUBLE_EQ(topo.BandwidthScale(path[1], n), 4.0 / 4.0);
+
+  // A non-oversubscribed fabric gives the core the pod's full aggregate.
+  FatTreeTopology full(/*pod_size=*/4, /*oversubscription=*/1.0);
+  std::vector<int> full_path = Route(full, 1, 9, n);
+  EXPECT_DOUBLE_EQ(full.BandwidthScale(full_path[1], n), 4.0);
+}
+
+TEST(FatTreeTopologyTest, LinkIdsStayInRange) {
+  const int n = 10;  // Partially filled last pod.
+  FatTreeTopology topo(/*pod_size=*/4, /*oversubscription=*/2.0);
+  const int num_links = topo.NumLinks(n);
+  for (int src = 0; src < n; ++src) {
+    for (int dst = 0; dst < n; ++dst) {
+      for (int link : Route(topo, src, dst, n)) {
+        EXPECT_GE(link, 0);
+        EXPECT_LT(link, num_links) << src << "->" << dst;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// 2D mesh
+// ---------------------------------------------------------------------------
+
+TEST(Mesh2dTopologyTest, XyRouteLengthIsManhattanDistance) {
+  Mesh2dTopology topo(/*width=*/4);
+  // Node 1 = (1,0), node 11 = (3,2): |dx| + |dy| = 2 + 2 = 4 hops.
+  EXPECT_EQ(Route(topo, 1, 11, 12).size(), 4u);
+  // Neighbors are one hop apart.
+  EXPECT_EQ(Route(topo, 5, 6, 12).size(), 1u);
+  EXPECT_TRUE(Route(topo, 7, 7, 12).empty());
+}
+
+TEST(Mesh2dTopologyTest, AutoWidthPicksCeilSqrt) {
+  Mesh2dTopology topo(/*width=*/0);
+  EXPECT_EQ(topo.WidthFor(16), 4);
+  EXPECT_EQ(topo.WidthFor(17), 5);
+  EXPECT_EQ(topo.WidthFor(2), 2);
+}
+
+TEST(Mesh2dTopologyTest, LinkIdsStayInRangeOnPartialGrid) {
+  // 7 nodes on a 3-wide grid: the bottom row is partially filled, but XY
+  // routes may relay through positions past the last node.
+  Mesh2dTopology topo(/*width=*/3);
+  const int num_links = topo.NumLinks(7);
+  for (int src = 0; src < 7; ++src) {
+    for (int dst = 0; dst < 7; ++dst) {
+      for (int link : Route(topo, src, dst, 7)) {
+        EXPECT_GE(link, 0);
+        EXPECT_LT(link, num_links) << src << "->" << dst;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Queue models
+// ---------------------------------------------------------------------------
+
+TEST(QueueModelTest, QueueFreeNeverWaits) {
+  QueueFreeModel queue;
+  EXPECT_TRUE(queue.free());
+  EXPECT_DOUBLE_EQ(queue.WaitSeconds(0.9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(queue.ServiceInflation(), 1.0);
+}
+
+TEST(QueueModelTest, Mm1MatchesFifoDrainOnEqualShares) {
+  Mm1QueueModel queue;  // No background load.
+  EXPECT_FALSE(queue.free());
+  // k equal messages: other_share = (k-1)/k, so service + wait must equal
+  // the full FIFO drain k * service. This is the identity that keeps the
+  // analytic pricing and the discrete-event simulator in agreement.
+  for (int k : {1, 2, 3, 10}) {
+    const double service = 0.25;
+    double wait = queue.WaitSeconds((k - 1.0) / k, service);
+    EXPECT_NEAR(service + wait, k * service, 1e-12) << "k=" << k;
+  }
+  EXPECT_DOUBLE_EQ(queue.ServiceInflation(), 1.0);
+}
+
+TEST(QueueModelTest, Mm1BackgroundLoadInflatesService) {
+  Mm1QueueModel queue(/*background=*/0.5);
+  // rho = 0.5 on a solo flow: W = rho/(1-rho) * s = s, inflation 1/(1-0.5).
+  EXPECT_NEAR(queue.WaitSeconds(/*other_share=*/0.0, 1.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(queue.ServiceInflation(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// NetworkSpec + analytic pricing
+// ---------------------------------------------------------------------------
+
+TEST(NetworkSpecTest, DefaultIsIdealWithEmptyDecoration) {
+  NetworkSpec network;
+  EXPECT_TRUE(network.Ideal());
+  EXPECT_EQ(network.Decoration(), "");
+  EXPECT_EQ(network.EffectiveTopology().name(), "ideal-switch");
+  EXPECT_EQ(network.EffectiveQueue().name(), "queue-free");
+}
+
+TEST(NetworkSpecTest, ContendedDecorationNamesTopologyAndQueue) {
+  NetworkSpec network{std::make_shared<FatTreeTopology>(4, 4.0),
+                      std::make_shared<Mm1QueueModel>(0.0)};
+  EXPECT_FALSE(network.Ideal());
+  EXPECT_EQ(network.Decoration(), "@fat-tree(pod=4;os=4)/mm1");
+}
+
+TEST(RoundSecondsTest, QueueFreeRoundIsBottleneckService) {
+  const LinkSpec edge{.bandwidth_bps = 1e9, .latency_s = 0.0};
+  NetworkSpec star{std::make_shared<StarTopology>(1.0), nullptr};
+  // 4 flows of 1e9 bits into distinct destinations all cross the shared
+  // backplane, but the free queue prices only each flow's own service.
+  TrafficRound round;
+  for (int i = 1; i <= 4; ++i) {
+    round.flows.push_back(Flow{.src = 0, .dst = i, .bits = 1e9});
+  }
+  EXPECT_NEAR(RoundSeconds(round, 8, edge, star), 1.0, 1e-12);
+}
+
+TEST(RoundSecondsTest, Mm1RoundIsFullBackplaneDrain) {
+  const LinkSpec edge{.bandwidth_bps = 1e9, .latency_s = 0.0};
+  NetworkSpec star{std::make_shared<StarTopology>(1.0),
+                   std::make_shared<Mm1QueueModel>(0.0)};
+  TrafficRound round;
+  for (int i = 1; i <= 4; ++i) {
+    round.flows.push_back(Flow{.src = 0, .dst = i, .bits = 1e9});
+  }
+  // All 4 seconds of traffic serialize through the backplane: the M/M/1
+  // drain-share form makes the round exactly the FIFO drain time.
+  EXPECT_NEAR(RoundSeconds(round, 8, edge, star), 4.0, 1e-12);
+}
+
+TEST(RoundSecondsTest, LatencyChargedPerHop) {
+  const LinkSpec edge{.bandwidth_bps = 1e9, .latency_s = 1e-3};
+  NetworkSpec star{std::make_shared<StarTopology>(1.0), nullptr};
+  TrafficRound round{.flows = {Flow{.src = 0, .dst = 1, .bits = 1e6}},
+                     .repeat = 1.0};
+  // 3 hops (egress, backplane, ingress) at 1 ms each on top of 1 ms service.
+  EXPECT_NEAR(RoundSeconds(round, 4, edge, star), 1e-3 + 3e-3, 1e-12);
+}
+
+TEST(RoundSecondsTest, RepeatScalesAndLocalFlowsAreFree) {
+  const LinkSpec edge{.bandwidth_bps = 1e9, .latency_s = 0.0};
+  NetworkSpec star{std::make_shared<StarTopology>(1.0), nullptr};
+  TrafficPattern pattern;
+  TrafficRound& round = pattern.AddRound(/*repeat=*/2.5);
+  round.flows.push_back(Flow{.src = 0, .dst = 1, .bits = 1e9});
+  round.flows.push_back(Flow{.src = 2, .dst = 2, .bits = 1e18});  // local
+  EXPECT_NEAR(PatternSeconds(pattern, 4, edge, star), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(pattern.TotalBits(), 2.5 * (1e9 + 1e18));
+}
+
+}  // namespace
+}  // namespace dmlscale::core

@@ -151,7 +151,7 @@ TEST(SweepRunnerTest, CsvHasHeaderRowPerCellAndMapeOnlyForSimCells) {
   ASSERT_TRUE(report.ok());
   std::string csv = report->ToCsv();
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
-            "cell,scenario,hardware,options,status,t_ref_s,optimal_nodes,"
+            "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,"
             "first_local_peak,peak_speedup,peak_efficiency,scalable,"
             "q1_nodes,q2_nodes,mape_pct,measured_mape_pct");
   size_t rows = 0;
