@@ -14,6 +14,19 @@ function(dml_add_module name)
   target_compile_features(${target} PUBLIC cxx_std_20)
   target_compile_options(${target} PRIVATE ${DML_WARNING_FLAGS})
   target_link_libraries(${target} PUBLIC ${ARG_DEPS} Threads::Threads)
+  dml_enable_clang_tidy(${target})
+endfunction()
+
+# dml_enable_clang_tidy(<target>)
+#
+# Attaches the clang-tidy wall (.clang-tidy at the repo root, findings are
+# errors) to one target when -DDML_CLANG_TIDY=ON resolved a binary. A no-op
+# otherwise, so the gcc-only container builds unchanged.
+function(dml_enable_clang_tidy target)
+  if(DML_CLANG_TIDY_COMMAND)
+    set_target_properties(${target} PROPERTIES
+      CXX_CLANG_TIDY "${DML_CLANG_TIDY_COMMAND}")
+  endif()
 endfunction()
 
 # dml_add_test(<source> MODULE <module> NAME <name>

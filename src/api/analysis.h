@@ -131,7 +131,7 @@ struct AnalysisReport {
 /// discrete-event cross-check behind one call.
 class Analysis {
  public:
-  static Result<AnalysisReport> Run(const Scenario& scenario,
+  [[nodiscard]] static Result<AnalysisReport> Run(const Scenario& scenario,
                                     const AnalysisOptions& options = {});
 };
 

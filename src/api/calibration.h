@@ -61,7 +61,7 @@ struct CalibratedScenario {
 ///
 /// Calibrating an already-calibrated scenario fits multipliers ON TOP of
 /// its existing coefficients (the basis terms include them).
-Result<CalibratedScenario> Calibrate(const Scenario& scenario,
+[[nodiscard]] Result<CalibratedScenario> Calibrate(const Scenario& scenario,
                                      Workload* workload,
                                      const CalibrationOptions& options = {});
 
@@ -69,7 +69,7 @@ Result<CalibratedScenario> Calibrate(const Scenario& scenario,
 /// against measured samples — the number the paper reports when comparing
 /// a model with cluster measurements. Fails on empty or non-positive
 /// samples.
-Result<double> MapeVsSamples(const core::AlgorithmModel& model,
+[[nodiscard]] Result<double> MapeVsSamples(const core::AlgorithmModel& model,
                              const std::vector<core::TimingSample>& samples);
 
 }  // namespace dmlscale::api

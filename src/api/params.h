@@ -41,20 +41,20 @@ class ModelParams {
     return Set(std::move(key), std::string(value));
   }
 
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  bool Has(const std::string& key) const { return values_.contains(key); }
   bool HasString(const std::string& key) const {
-    return strings_.count(key) > 0;
+    return strings_.contains(key);
   }
 
   /// The numeric value for `key`; kInvalidArgument naming the key and listing
   /// the keys that were provided when absent.
-  Result<double> Get(const std::string& key) const;
+  [[nodiscard]] Result<double> Get(const std::string& key) const;
 
   /// The numeric value for `key`, or `def` when absent.
   double GetOr(const std::string& key, double def) const;
 
   /// The string value for `key`; kInvalidArgument when absent.
-  Result<std::string> GetString(const std::string& key) const;
+  [[nodiscard]] Result<std::string> GetString(const std::string& key) const;
 
   /// The string value for `key`, or `def` when absent.
   std::string GetStringOr(const std::string& key, std::string def) const;
@@ -63,7 +63,7 @@ class ModelParams {
   /// (numeric or string) not in `allowed` (factories call this so `--rounds`
   /// misspelled as `--round` fails loudly instead of silently using the
   /// default).
-  Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
+  [[nodiscard]] Status ExpectOnly(std::initializer_list<std::string_view> allowed) const;
 
   const std::map<std::string, double>& values() const { return values_; }
   const std::map<std::string, std::string>& strings() const {

@@ -37,7 +37,7 @@ class ModelRegistry {
   /// of the accepted parameters, surfaced by Help(); `example` is a bag the
   /// factory is guaranteed to accept (property tests construct every entry
   /// from it). Duplicate names are a programming error: kFailedPrecondition.
-  Status Register(const std::string& name, std::string params_help,
+  [[nodiscard]] Status Register(const std::string& name, std::string params_help,
                   Factory factory, ModelParams example = {}) {
     std::lock_guard<std::mutex> lock(mutex_);
     if (name.empty()) {
@@ -54,7 +54,7 @@ class ModelRegistry {
   }
 
   /// Constructs the model registered under `name`.
-  Result<std::unique_ptr<ModelT>> Create(const std::string& name,
+  [[nodiscard]] Result<std::unique_ptr<ModelT>> Create(const std::string& name,
                                          const ModelParams& params,
                                          const SpecT& spec) const {
     Factory factory;
@@ -76,12 +76,12 @@ class ModelRegistry {
 
   bool Contains(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mutex_);
-    return entries_.count(name) > 0;
+    return entries_.contains(name);
   }
 
   /// The documented example parameter bag registered for `name` (possibly
   /// empty); kNotFound for unknown names.
-  Result<ModelParams> Example(const std::string& name) const {
+  [[nodiscard]] Result<ModelParams> Example(const std::string& name) const {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = entries_.find(name);
     if (it == entries_.end()) {

@@ -102,7 +102,7 @@ class Scenario final : public core::AlgorithmModel {
 
   /// Convenience: the strong-scaling speedup curve up to `max_nodes`
   /// (0 = the cluster's max_nodes).
-  Result<core::SpeedupCurve> Speedup(int max_nodes = 0,
+  [[nodiscard]] Result<core::SpeedupCurve> Speedup(int max_nodes = 0,
                                      int reference_n = 1) const;
 
  private:
@@ -162,7 +162,7 @@ class Scenario::Builder {
                            double comm_coefficient);
 
   /// Validates and assembles the scenario.
-  Result<Scenario> Build() const;
+  [[nodiscard]] Result<Scenario> Build() const;
 
  private:
   std::string name_ = "scenario";

@@ -57,11 +57,11 @@ class Workload {
   /// One timing sample at `nodes` >= 1. Pure function of (workload
   /// configuration, nodes) unless the workload was opted into wall-clock
   /// pricing — independent of call order and thread count.
-  virtual Result<core::TimingSample> Measure(int nodes) = 0;
+  [[nodiscard]] virtual Result<core::TimingSample> Measure(int nodes) = 0;
 
   /// One sample per entry of `nodes`, in order. Fails on the first
   /// measurement error.
-  Result<std::vector<core::TimingSample>> MeasureSchedule(
+  [[nodiscard]] Result<std::vector<core::TimingSample>> MeasureSchedule(
       const std::vector<int>& nodes);
 };
 
@@ -79,7 +79,7 @@ class ModeledWorkload final : public Workload {
 
   std::string name() const override;
   bool measured() const override { return false; }
-  Result<core::TimingSample> Measure(int nodes) override;
+  [[nodiscard]] Result<core::TimingSample> Measure(int nodes) override;
 
  private:
   Scenario scenario_;
@@ -112,7 +112,7 @@ struct NnTrainerWorkloadOptions {
   /// NON-DETERMINISTIC — keep off in tests and CI.
   bool use_wall_clock = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// The Fig. 2 MNIST tower (784-2500-2000-1500-1000-500-10, Table I) with
@@ -142,12 +142,12 @@ class NnTrainerWorkload final : public Workload {
  public:
   /// Derives hardware pricing (node FLOPS, link bandwidth, shared-memory
   /// flag) from `scenario`; validates `options`.
-  static Result<std::unique_ptr<NnTrainerWorkload>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<NnTrainerWorkload>> Create(
       const Scenario& scenario, NnTrainerWorkloadOptions options);
 
   std::string name() const override { return "nn-trainer"; }
   bool measured() const override { return true; }
-  Result<core::TimingSample> Measure(int nodes) override;
+  [[nodiscard]] Result<core::TimingSample> Measure(int nodes) override;
 
   /// Mean epoch loss of the last Measure() call's training run — evidence
   /// the workload really trains (tests assert it decreases).
@@ -187,7 +187,7 @@ struct BpSweepWorkloadOptions {
   /// See NnTrainerWorkloadOptions::use_wall_clock.
   bool use_wall_clock = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Executes `bp::RunParallelBp` on a grid MRF with the node count as the
@@ -202,14 +202,14 @@ struct BpSweepWorkloadOptions {
 /// run actually took, not by max_iterations.
 class BpSweepWorkload final : public Workload {
  public:
-  static Result<std::unique_ptr<BpSweepWorkload>> Create(
+  [[nodiscard]] static Result<std::unique_ptr<BpSweepWorkload>> Create(
       const Scenario& scenario, BpSweepWorkloadOptions options);
 
   ~BpSweepWorkload() override;
 
   std::string name() const override { return "bp-sweep"; }
   bool measured() const override { return true; }
-  Result<core::TimingSample> Measure(int nodes) override;
+  [[nodiscard]] Result<core::TimingSample> Measure(int nodes) override;
 
   /// Supersteps of the last Measure() call (0 before the first call).
   int last_iterations() const { return last_iterations_; }

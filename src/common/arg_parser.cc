@@ -29,7 +29,7 @@ Result<ArgParser> ArgParser::Parse(int argc, const char* const* argv) {
 }
 
 bool ArgParser::Has(const std::string& key) const {
-  return values_.count(key) > 0;
+  return values_.contains(key);
 }
 
 Status ArgParser::CheckKnown(const std::vector<std::string>& known) const {

@@ -14,7 +14,7 @@ namespace dmlscale {
 class ArgParser {
  public:
   /// Parses argv; arguments not starting with "--" become positionals.
-  static Result<ArgParser> Parse(int argc, const char* const* argv);
+  [[nodiscard]] static Result<ArgParser> Parse(int argc, const char* const* argv);
 
   bool Has(const std::string& key) const;
 
@@ -22,7 +22,7 @@ class ArgParser {
   /// in `known`, plus the full list of known flags. Drivers call this once,
   /// after Parse, with every flag they read — otherwise a misspelled flag
   /// silently falls back to its default.
-  Status CheckKnown(const std::vector<std::string>& known) const;
+  [[nodiscard]] Status CheckKnown(const std::vector<std::string>& known) const;
 
   /// Typed getters with defaults.
   std::string GetString(const std::string& key, const std::string& def) const;

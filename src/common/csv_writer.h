@@ -21,7 +21,7 @@ class CsvWriter {
   std::string ToString() const;
 
   /// Writes the file; fails with IOError on filesystem problems.
-  Status WriteFile(const std::string& path) const;
+  [[nodiscard]] Status WriteFile(const std::string& path) const;
 
   size_t num_rows() const { return rows_.size(); }
 

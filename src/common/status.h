@@ -26,8 +26,11 @@ const char* StatusCodeToString(StatusCode code);
 /// Result of a fallible operation: either success or a code plus message.
 ///
 /// The library does not throw exceptions across public API boundaries;
-/// every operation that can fail returns `Status` or `Result<T>`.
-class Status {
+/// every operation that can fail returns `Status` or `Result<T>`. The
+/// class-level [[nodiscard]] makes silently dropping an error a compile
+/// error under src/'s -Werror wall: a caller must branch on it, propagate
+/// it (DMLSCALE_RETURN_NOT_OK), or discard explicitly with a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -62,12 +65,12 @@ class Status {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -82,24 +85,33 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// Either a value of type `T` or an error `Status`. Modeled after
 /// arrow::Result. Accessing the value of an errored result aborts.
+/// [[nodiscard]] for the same reason as `Status`: a dropped `Result` is a
+/// dropped error path, and the compiler — not a reviewer — should catch it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
+  // Both converting constructors below are intentionally implicit: they are
+  // what lets a `Result<T>`-returning function write `return value;` and
+  // `return Status::InvalidArgument(...);` without ceremony, mirroring
+  // arrow::Result. The suppressions are scoped to the one clang-tidy rule
+  // that would object, so any *other* finding on these lines still fires.
   /// Constructs a successful result (implicit by design, mirroring
   /// arrow::Result, so functions can `return value;`).
-  Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : state_(std::move(value)) {}
   /// Constructs an errored result from a non-OK status (implicit by design
   /// so functions can `return Status::...;`). Aborts if `status.ok()`.
-  Result(Status status) : state_(std::move(status)) {  // NOLINT
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : state_(std::move(status)) {
     if (std::get<Status>(state_).ok()) {
       Abort("Result constructed from OK status");
     }
   }
 
-  bool ok() const { return std::holds_alternative<T>(state_); }
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(state_); }
 
   /// Status of the operation: OK when a value is held.
-  Status status() const {
+  [[nodiscard]] Status status() const {
     if (ok()) return Status::OK();
     return std::get<Status>(state_);
   }

@@ -22,7 +22,10 @@ class Stopwatch {
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
+  // The one sanctioned clock: monotonic, and only ever surfaced through
+  // opt-in wall-clock paths (TimingSample.wall_clock). dml-lint bans clock
+  // types elsewhere in src/ (rule DML001), so timing goes through here.
+  using Clock = std::chrono::steady_clock;  // dml-lint: allow(wall-clock)
   Clock::time_point start_;
 };
 

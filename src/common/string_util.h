@@ -24,10 +24,10 @@ std::string_view StripWhitespace(std::string_view s);
 bool StartsWith(std::string_view s, std::string_view prefix);
 
 /// Parses a decimal integer; rejects trailing garbage.
-Result<int64_t> ParseInt64(std::string_view s);
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view s);
 
 /// Parses a double; rejects trailing garbage.
-Result<double> ParseDouble(std::string_view s);
+[[nodiscard]] Result<double> ParseDouble(std::string_view s);
 
 /// Formats a double with `precision` significant digits.
 std::string FormatDouble(double v, int precision = 6);

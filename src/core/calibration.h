@@ -44,7 +44,7 @@ struct CalibrationResult {
 /// otherwise). A successful fit can still report a negative `r_squared`
 /// when the basis cannot track the samples — treat that as "do not trust
 /// this model", not as an error.
-Result<CalibrationResult> FitLinearModel(
+[[nodiscard]] Result<CalibrationResult> FitLinearModel(
     const std::vector<std::function<double(int)>>& basis,
     const std::vector<TimingSample>& samples);
 
@@ -68,7 +68,7 @@ class CalibratedModel final : public AlgorithmModel {
 
 /// Convenience: fit the two-term (compute, comm) decomposition of a
 /// Superstep-like model and return the calibrated model.
-Result<std::unique_ptr<CalibratedModel>> CalibrateComputeComm(
+[[nodiscard]] Result<std::unique_ptr<CalibratedModel>> CalibrateComputeComm(
     std::function<double(int)> compute_term,
     std::function<double(int)> comm_term,
     const std::vector<TimingSample>& samples);

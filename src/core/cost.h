@@ -24,19 +24,19 @@ struct CostCurve {
 };
 
 /// Computes `n * t(n)` over [1, max_nodes].
-Result<CostCurve> ComputeCost(const AlgorithmModel& model, int max_nodes);
+[[nodiscard]] Result<CostCurve> ComputeCost(const AlgorithmModel& model, int max_nodes);
 
 /// The cheapest node count whose run time meets `deadline_seconds`;
 /// NotFound when no n within max_nodes meets the deadline. This is the
 /// planner query practitioners actually pay for: "fastest is too
 /// expensive, what is the cheapest config that is fast enough?"
-Result<int> CheapestWithinDeadline(const AlgorithmModel& model, int max_nodes,
+[[nodiscard]] Result<int> CheapestWithinDeadline(const AlgorithmModel& model, int max_nodes,
                                    double deadline_seconds);
 
 /// Iso-efficiency style diagnostic: the largest n whose parallel
 /// efficiency `s(n)/n` stays at or above `min_efficiency`; NotFound if
 /// even n = 1 fails (cannot happen for positive times).
-Result<int> MaxNodesAtEfficiency(const AlgorithmModel& model, int max_nodes,
+[[nodiscard]] Result<int> MaxNodesAtEfficiency(const AlgorithmModel& model, int max_nodes,
                                  double min_efficiency);
 
 }  // namespace dmlscale::core

@@ -21,7 +21,7 @@ struct NodeSpec {
   double EffectiveFlops() const { return peak_flops * efficiency; }
 
   /// Validates that the specification is physically meaningful.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Point-to-point interconnect between nodes.
@@ -32,7 +32,7 @@ struct LinkSpec {
   /// this to zero; the discrete-event simulator can use a non-zero value.
   double latency_s = 0.0;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// A cluster of `max_nodes` homogeneous nodes joined by identical links.
@@ -44,7 +44,7 @@ struct ClusterSpec {
   int max_nodes = 1;
   bool shared_memory = false;
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// Hardware presets matching the paper's experimental platforms.

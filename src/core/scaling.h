@@ -21,7 +21,7 @@ class StrongScalingStudy {
   explicit StrongScalingStudy(ScalableTimeFn time_fn);
 
   /// Speedup curve `s(n) = t(1, 1) / t(n, 1)` for n in [1, max_nodes].
-  Result<SpeedupCurve> Speedup(int max_nodes) const;
+  [[nodiscard]] Result<SpeedupCurve> Speedup(int max_nodes) const;
 
  private:
   ScalableTimeFn time_fn_;
@@ -36,12 +36,12 @@ class WeakScalingStudy {
   explicit WeakScalingStudy(ScalableTimeFn time_fn);
 
   /// Per-instance speedup relative to `reference_n` nodes, as in Fig. 3.
-  Result<SpeedupCurve> PerInstanceSpeedup(const std::vector<int>& nodes,
+  [[nodiscard]] Result<SpeedupCurve> PerInstanceSpeedup(const std::vector<int>& nodes,
                                           int reference_n) const;
 
   /// Gustafson-style scaled speedup: `n * t(1,1) / t(n,n)` — how much more
   /// work completes per unit time with n nodes on an n-times larger input.
-  Result<SpeedupCurve> ScaledSpeedup(int max_nodes) const;
+  [[nodiscard]] Result<SpeedupCurve> ScaledSpeedup(int max_nodes) const;
 
  private:
   ScalableTimeFn time_fn_;

@@ -36,7 +36,7 @@ struct SpeedupCurve {
   std::vector<double> Efficiency() const;
 
   /// Speedup at a given node count; fails if `n` is not in the series.
-  Result<double> At(int n) const;
+  [[nodiscard]] Result<double> At(int n) const;
 };
 
 /// Computes speedup curves from an `AlgorithmModel`.
@@ -44,11 +44,11 @@ class SpeedupAnalyzer {
  public:
   /// s(n) for n in [1, max_nodes] relative to t(reference_n).
   /// Fails when max_nodes < 1 or the reference time is not positive.
-  static Result<SpeedupCurve> Compute(const AlgorithmModel& model,
+  [[nodiscard]] static Result<SpeedupCurve> Compute(const AlgorithmModel& model,
                                       int max_nodes, int reference_n = 1);
 
   /// s(n) over an explicit node list (must be non-empty, all >= 1).
-  static Result<SpeedupCurve> ComputeAt(const AlgorithmModel& model,
+  [[nodiscard]] static Result<SpeedupCurve> ComputeAt(const AlgorithmModel& model,
                                         const std::vector<int>& nodes,
                                         int reference_n = 1);
 };

@@ -11,19 +11,19 @@ namespace dmlscale::core {
 /// Mean absolute percentage error, in percent, as the paper reports for
 /// every validation (13.7% for Fig. 2, 1.2% for Fig. 3, 25.4% for Fig. 4).
 /// Fails on size mismatch, empty input, or a zero actual value.
-Result<double> Mape(const std::vector<double>& predicted,
+[[nodiscard]] Result<double> Mape(const std::vector<double>& predicted,
                     const std::vector<double>& actual);
 
 /// Mean absolute error.
-Result<double> Mae(const std::vector<double>& predicted,
+[[nodiscard]] Result<double> Mae(const std::vector<double>& predicted,
                    const std::vector<double>& actual);
 
 /// Root-mean-square error.
-Result<double> Rmse(const std::vector<double>& predicted,
+[[nodiscard]] Result<double> Rmse(const std::vector<double>& predicted,
                     const std::vector<double>& actual);
 
 /// Pearson correlation coefficient; fails if either series is constant.
-Result<double> PearsonCorrelation(const std::vector<double>& a,
+[[nodiscard]] Result<double> PearsonCorrelation(const std::vector<double>& a,
                                   const std::vector<double>& b);
 
 /// Error report comparing a model curve against measured points, aligning
@@ -36,7 +36,7 @@ struct ValidationReport {
   int num_points = 0;
 };
 
-Result<ValidationReport> CompareCurves(const SpeedupCurve& model,
+[[nodiscard]] Result<ValidationReport> CompareCurves(const SpeedupCurve& model,
                                        const SpeedupCurve& measured);
 
 }  // namespace dmlscale::core

@@ -105,6 +105,10 @@ Result<ParamServerStats> SimulateParameterServer(
     state->simulator.Schedule(0.0, [loop] { loop->fn(0); });
   }
   state->simulator.Run();
+  // `loop->fn` captures `loop` so the closure can reschedule itself; that
+  // shared_ptr cycle (Loop -> fn -> Loop, dragging `state` along) would
+  // outlive this call. Break it now that the event queue has drained.
+  loop->fn = nullptr;
 
   ParamServerStats stats;
   stats.completed_updates = state->completed;

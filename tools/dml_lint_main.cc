@@ -1,0 +1,124 @@
+// Command-line driver for dml-lint (see tools/README.md for the rule
+// catalog). Usage:
+//
+//   dml-lint [--root <dir>] [--list-rules] [paths...]
+//
+// Paths (default: src tools) are resolved against --root (default: the
+// current directory); directories are scanned recursively for C++ sources.
+// Exit code: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/dml_lint.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using dmlscale::lint::Finding;
+using dmlscale::lint::FormatFinding;
+using dmlscale::lint::LintFile;
+using dmlscale::lint::RuleInfo;
+using dmlscale::lint::Rules;
+
+bool IsCppSource(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+void PrintRules() {
+  std::cout << "dml-lint rules:\n";
+  for (const RuleInfo& rule : Rules()) {
+    std::cout << "  " << rule.id << "  " << rule.name << "\n      "
+              << rule.rationale << "\n      suppress with: // dml-lint: "
+              << "allow(" << rule.name << ")\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "dml-lint: --root requires a directory argument\n";
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      PrintRules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: dml-lint [--root <dir>] [--list-rules] "
+                   "[paths...]\n\nLints C++ sources (default paths: src "
+                   "tools) against the dmlscale determinism rules.\n\n";
+      PrintRules();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "dml-lint: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "tools"};
+
+  // Deterministic scan order: collect, then sort by the path label that is
+  // also echoed into findings.
+  std::vector<std::string> files;
+  std::vector<std::string> errors;
+  for (const std::string& p : paths) {
+    fs::path abs = fs::path(root) / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           !ec && it != end; it.increment(ec)) {
+        if (it->is_regular_file() && IsCppSource(it->path())) {
+          files.push_back(
+              fs::relative(it->path(), root, ec).generic_string());
+        }
+      }
+      if (ec) errors.push_back("cannot scan " + abs.string());
+    } else if (fs::is_regular_file(abs, ec)) {
+      files.push_back(p);
+    } else {
+      errors.push_back("no such file or directory: " + abs.string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    std::string disk_path = (fs::path(root) / file).string();
+    // Lint with the repo-relative label so findings and suppressions are
+    // stable regardless of where the binary runs from.
+    std::vector<Finding> file_findings;
+    std::vector<std::string> file_errors;
+    if (LintFile(disk_path, &file_findings, &file_errors)) {
+      for (Finding& f : file_findings) {
+        f.file = file;
+        findings.push_back(std::move(f));
+      }
+    } else {
+      errors.insert(errors.end(), file_errors.begin(), file_errors.end());
+    }
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << FormatFinding(f) << "\n";
+  }
+  for (const std::string& e : errors) {
+    std::cerr << "dml-lint: error: " << e << "\n";
+  }
+  std::cout << "dml-lint: scanned " << files.size() << " file(s), "
+            << findings.size() << " finding(s)\n";
+  if (!errors.empty()) return 2;
+  return findings.empty() ? 0 : 1;
+}
