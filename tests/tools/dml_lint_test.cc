@@ -325,5 +325,19 @@ TEST(DmlLint, LineNumbersSurviveBlockComments) {
   EXPECT_EQ(findings[0].line, 4);
 }
 
+TEST(DmlLint, LineNumbersSurviveLineContinuationInString) {
+  // A backslash-newline (line continuation) inside a string literal is an
+  // escaped character; it must still count as a physical line so findings
+  // and allow-comments later in the file attach to the right line.
+  std::vector<Finding> findings = LintSource(
+      "src/core/x.cc", "const char* s = \"a\\\nb\";\nint x = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_FALSE(Fires("src/core/x.cc",
+                     "const char* s = \"a\\\nb\";\n"
+                     "int x = rand();  // dml-lint: allow(wall-clock)\n",
+                     "DML001"));
+}
+
 }  // namespace
 }  // namespace dmlscale::lint

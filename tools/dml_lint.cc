@@ -136,7 +136,14 @@ SourceView StripCommentsAndLiterals(std::string_view contents) {
         break;
       case State::kString:
         if (c == '\\') {
+          // The skipped escaped character bypasses the post-switch newline
+          // bookkeeping; a backslash-newline (line continuation) must still
+          // advance the comment line index or later suppressions desync.
           ++i;
+          if (i < contents.size() && contents[i] == '\n') {
+            ++line;
+            view.code[i] = '\n';
+          }
         } else if (c == '"') {
           view.code[i] = '"';
           state = State::kCode;
@@ -145,6 +152,10 @@ SourceView StripCommentsAndLiterals(std::string_view contents) {
       case State::kChar:
         if (c == '\\') {
           ++i;
+          if (i < contents.size() && contents[i] == '\n') {
+            ++line;
+            view.code[i] = '\n';
+          }
         } else if (c == '\'') {
           view.code[i] = '\'';
           state = State::kCode;

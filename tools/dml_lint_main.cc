@@ -80,8 +80,16 @@ int main(int argc, char** argv) {
       for (fs::recursive_directory_iterator it(abs, ec), end;
            !ec && it != end; it.increment(ec)) {
         if (it->is_regular_file() && IsCppSource(it->path())) {
-          files.push_back(
-              fs::relative(it->path(), root, ec).generic_string());
+          // Separate error_code: reusing `ec` would both record a garbage
+          // path and silently abort the rest of the walk on failure.
+          std::error_code rel_ec;
+          fs::path rel = fs::relative(it->path(), root, rel_ec);
+          if (rel_ec || rel.empty()) {
+            errors.push_back("cannot resolve " + it->path().string() +
+                             " relative to " + root);
+          } else {
+            files.push_back(rel.generic_string());
+          }
         }
       }
       if (ec) errors.push_back("cannot scan " + abs.string());
