@@ -92,9 +92,11 @@ Result<core::SpeedupCurve> SimulateCurve(const Scenario& scenario,
     double coefficient = scenario.comm_coefficient();
     auto des_comm = std::make_shared<std::map<int, double>>();
     for (int n : nodes) {
+      // SimulateCommSeconds streams rounds through the model's ForEachRound
+      // hook, so even a 10k-node ring pattern is priced in O(n) memory.
       (*des_comm)[n] = coefficient *
-                       sim::SimulatePatternSeconds(scenario.comm().Traffic(n),
-                                                   n, link, network);
+                       sim::SimulateCommSeconds(scenario.comm(), n, link,
+                                                network, options.sim_backend);
     }
     comm_seconds = [des_comm](int n) { return des_comm->at(n); };
   }
@@ -104,7 +106,9 @@ Result<core::SpeedupCurve> SimulateCurve(const Scenario& scenario,
       .comm_seconds = std::move(comm_seconds),
       .message_bits = scenario.comm_params().GetOr("bits", 0.0),
       .overhead = options.overhead,
-      .supersteps = options.sim_supersteps};
+      .supersteps = options.sim_supersteps,
+      .backend = options.sim_backend,
+      .exec = {}};
 
   // One independently seeded generator per node count: the point at n is the
   // same whether the curve is evaluated front to back, in parallel, or as

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "core/calibration.h"
 #include "core/speedup.h"
+#include "sim/backend.h"
 #include "sim/overhead.h"
 
 namespace dmlscale::api {
@@ -55,6 +56,11 @@ struct AnalysisOptions {
   /// thread count. Analysis::Run spawns its own short-lived pool, so sweep
   /// runners that already parallelize across cells should leave this at 1.
   int threads = 1;
+
+  /// Which discrete-event core runs the simulations (the superstep sim and,
+  /// on contended networks, the per-link DES). Both backends produce
+  /// byte-identical reports; kLegacy is the migration reference.
+  sim::SimBackend sim_backend = sim::SimBackend::kEngine;
 
   /// Optional shared memoization cache for the scenario's ComputeSeconds /
   /// CommSeconds evaluations (not owned; nullptr = no caching). Keys embed

@@ -18,6 +18,7 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kIOError,
+  kResourceExhausted,
 };
 
 /// Returns a human-readable name, e.g. "InvalidArgument".
@@ -63,6 +64,9 @@ class [[nodiscard]] Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

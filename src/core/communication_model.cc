@@ -18,7 +18,20 @@ double CommunicationModel::Seconds(int n) const {
   DMLSCALE_CHECK_GE(n, 1);
   if (n == 1) return 0.0;
   if (network_.Ideal()) return ClosedFormSeconds(n);
-  return PatternSeconds(Traffic(n), n, link_, network_);
+  // Stream rounds instead of materializing Traffic(n): identical sum
+  // (PatternSeconds is a fold of RoundSeconds over the rounds) at O(round)
+  // memory, which is what keeps 10k-node ring patterns affordable.
+  double total = 0.0;
+  ForEachRound(n, [&](const TrafficRound& round) {
+    total += RoundSeconds(round, n, link_, network_);
+  });
+  return total;
+}
+
+void CommunicationModel::ForEachRound(
+    int n, const std::function<void(const TrafficRound&)>& fn) const {
+  const TrafficPattern pattern = Traffic(n);
+  for (const TrafficRound& round : pattern.rounds) fn(round);
 }
 
 TrafficPattern SharedMemoryComm::Traffic(int n) const {
@@ -190,6 +203,21 @@ TrafficPattern RingAllReduceComm::Traffic(int n) const {
   return pattern;
 }
 
+void RingAllReduceComm::ForEachRound(
+    int n, const std::function<void(const TrafficRound&)>& fn) const {
+  DMLSCALE_CHECK_GE(n, 1);
+  if (n == 1) return;
+  // Every round is the same n-flow ring shift: build it once, stream it
+  // 2(n-1) times (O(n) memory instead of Traffic(n)'s O(n^2)).
+  TrafficRound round;
+  const double chunk = bits_ / static_cast<double>(n);
+  round.flows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    round.flows.push_back(Flow{i, (i + 1) % n, chunk});
+  }
+  for (int r = 0; r < 2 * (n - 1); ++r) fn(round);
+}
+
 RecursiveDoublingComm::RecursiveDoublingComm(double bits, LinkSpec link,
                                              NetworkSpec network)
     : CommunicationModel(link, std::move(network)), bits_(bits) {
@@ -279,6 +307,11 @@ TrafficPattern CompositeComm::Traffic(int n) const {
   TrafficPattern pattern;
   for (const auto& stage : stages_) pattern.Append(stage->Traffic(n));
   return pattern;
+}
+
+void CompositeComm::ForEachRound(
+    int n, const std::function<void(const TrafficRound&)>& fn) const {
+  for (const auto& stage : stages_) stage->ForEachRound(n, fn);
 }
 
 std::unique_ptr<CompositeComm> CompositeComm::Of(

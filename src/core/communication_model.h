@@ -1,6 +1,7 @@
 #ifndef DMLSCALE_CORE_COMMUNICATION_MODEL_H_
 #define DMLSCALE_CORE_COMMUNICATION_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,16 @@ class CommunicationModel {
 
   /// The collective's per-round flows on `n` >= 1 nodes (empty for n == 1).
   virtual TrafficPattern Traffic(int n) const = 0;
+
+  /// Streams the same rounds as Traffic(n) to `fn`, in order, WITHOUT
+  /// materializing the whole pattern. The base implementation materializes
+  /// Traffic(n); models whose pattern is huge but repetitive override it to
+  /// build each distinct round once (RingAllReduceComm's 2(n-1) identical
+  /// rounds are ~2*10^8 flows at n = 10k if materialized, n flows if
+  /// streamed). This is the pricing hook that lets the event engine and the
+  /// analytic queue model cost 10k-node collectives in O(n) memory.
+  virtual void ForEachRound(
+      int n, const std::function<void(const TrafficRound&)>& fn) const;
 
   const NetworkSpec& network() const { return network_; }
   const LinkSpec& link() const { return link_; }
@@ -163,6 +174,11 @@ class RingAllReduceComm final : public CommunicationModel {
   RingAllReduceComm(double bits, LinkSpec link, NetworkSpec network = {});
   std::string name() const override { return "ring-allreduce"; }
   TrafficPattern Traffic(int n) const override;
+  /// Streams the single n-flow shift round 2(n-1) times instead of
+  /// materializing all of them.
+  void ForEachRound(
+      int n,
+      const std::function<void(const TrafficRound&)>& fn) const override;
 
  protected:
   double ClosedFormSeconds(int n) const override;
@@ -214,6 +230,11 @@ class CompositeComm final : public CommunicationModel {
   double Seconds(int n) const override;
   std::string name() const override;
   TrafficPattern Traffic(int n) const override;
+  /// Streams each stage's rounds in stage order (so a streaming stage like
+  /// the ring stays O(n) inside a composite).
+  void ForEachRound(
+      int n,
+      const std::function<void(const TrafficRound&)>& fn) const override;
 
   /// Builder-style helper.
   static std::unique_ptr<CompositeComm> Of(

@@ -1,0 +1,19 @@
+#ifndef DMLSCALE_SIM_BACKEND_H_
+#define DMLSCALE_SIM_BACKEND_H_
+
+namespace dmlscale::sim {
+
+/// Which discrete-event core a simulation runs on. The two backends are
+/// bit-identical for every migrated scenario (enforced by the golden
+/// equivalence tests); kLegacy exists as the reference implementation during
+/// the migration and for A/B debugging.
+enum class SimBackend {
+  /// sim::Engine — POD event records, per-node calendar queues, shardable.
+  kEngine,
+  /// The original closure-based Simulator.
+  kLegacy,
+};
+
+}  // namespace dmlscale::sim
+
+#endif  // DMLSCALE_SIM_BACKEND_H_

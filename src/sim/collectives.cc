@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/math_util.h"
+#include "sim/event_engine.h"
 #include "sim/simulator.h"
 
 namespace dmlscale::sim {
@@ -26,12 +27,15 @@ double TransferSeconds(double bits, const core::LinkSpec& link,
 
 }  // namespace
 
-Result<double> SimulateTreeReduce(const std::vector<double>& ready_times,
-                                  double bits, core::LinkSpec link,
-                                  const OverheadModel& overhead) {
-  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+namespace {
+
+// Legacy (closure-based Simulator) reference implementations of the two
+// event-driven tree sims, retained verbatim during the engine migration.
+
+Result<double> TreeReduceLegacy(const std::vector<double>& ready_times,
+                                double bits, const core::LinkSpec& link,
+                                const OverheadModel& overhead) {
   int n = static_cast<int>(ready_times.size());
-  if (n == 1) return ready_times[0];
 
   // Heap-indexed binary tree: node i has children 2i+1, 2i+2. A node can
   // send upward once its own work and all child receptions are complete.
@@ -81,13 +85,68 @@ Result<double> SimulateTreeReduce(const std::vector<double>& ready_times,
   return completion;
 }
 
-Result<double> SimulateTreeBroadcast(int num_nodes, double start_time,
-                                     double bits, core::LinkSpec link,
-                                     const OverheadModel& overhead) {
-  DMLSCALE_RETURN_NOT_OK(
-      CheckCommon(static_cast<size_t>(std::max(num_nodes, 0)), bits, link));
-  if (num_nodes == 1) return start_time;
+// Engine port: same state, same arithmetic, and the same ScheduleAt call
+// sequence as TreeReduceLegacy — sequential mode's global seq then
+// reproduces the legacy event order exactly, so the result is bit-identical
+// (enforced by the golden equivalence tests).
+Result<double> TreeReduceEngine(const std::vector<double>& ready_times,
+                                double bits, const core::LinkSpec& link,
+                                const OverheadModel& overhead) {
+  int n = static_cast<int>(ready_times.size());
 
+  double transfer = TransferSeconds(bits, link, overhead);
+  std::vector<int> pending_children(static_cast<size_t>(n), 0);
+  std::vector<double> up_ready = ready_times;
+  std::vector<double> link_busy(static_cast<size_t>(n), 0.0);
+  double completion = 0.0;
+
+  for (int i = 0; i < n; ++i) {
+    int kids = 0;
+    if (2 * i + 1 < n) ++kids;
+    if (2 * i + 2 < n) ++kids;
+    pending_children[static_cast<size_t>(i)] = kids;
+  }
+
+  Engine engine(n, EngineOptions{});  // lookahead 0: sequential mode
+  int recv_type = -1;
+  // "Recurses" through the event queue, exactly like the legacy send_up.
+  auto send_up = [&](int node) {
+    if (node == 0) {
+      completion = std::max(completion, up_ready[0]);
+      return;
+    }
+    int parent = (node - 1) / 2;
+    double start = std::max(up_ready[static_cast<size_t>(node)],
+                            link_busy[static_cast<size_t>(parent)]);
+    double done = start + transfer;
+    link_busy[static_cast<size_t>(parent)] = done;
+    // Event: `parent` finishes receiving a child's message at `done`.
+    engine.ScheduleAt(parent, done, recv_type, 0, 0, done);
+  };
+  recv_type = engine.AddHandler([&](const Event& event) {
+    int parent = event.node;
+    up_ready[static_cast<size_t>(parent)] =
+        std::max(up_ready[static_cast<size_t>(parent)], event.x);
+    if (--pending_children[static_cast<size_t>(parent)] == 0) {
+      send_up(parent);
+    }
+  });
+  int start_type =
+      engine.AddHandler([&](const Event& event) { send_up(event.node); });
+
+  for (int i = 0; i < n; ++i) {
+    if (pending_children[static_cast<size_t>(i)] == 0) {
+      engine.ScheduleAt(i, ready_times[static_cast<size_t>(i)], start_type);
+    }
+  }
+  DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
+  (void)stats;
+  return completion;
+}
+
+Result<double> TreeBroadcastLegacy(int num_nodes, double start_time,
+                                   double bits, const core::LinkSpec& link,
+                                   const OverheadModel& overhead) {
   Simulator simulator;
   double transfer = TransferSeconds(bits, link, overhead);
   std::vector<double> have(static_cast<size_t>(num_nodes), -1.0);
@@ -112,6 +171,65 @@ Result<double> SimulateTreeBroadcast(int num_nodes, double start_time,
                        [&deliver, start_time] { deliver(0, start_time); });
   simulator.Run();
   return completion;
+}
+
+// Engine port of TreeBroadcastLegacy; bit-identical by the same argument as
+// TreeReduceEngine.
+Result<double> TreeBroadcastEngine(int num_nodes, double start_time,
+                                   double bits, const core::LinkSpec& link,
+                                   const OverheadModel& overhead) {
+  double transfer = TransferSeconds(bits, link, overhead);
+  std::vector<double> have(static_cast<size_t>(num_nodes), -1.0);
+  double completion = start_time;
+
+  Engine engine(num_nodes, EngineOptions{});  // sequential mode
+  // Event: `node` holds the payload at event.x and forwards to children.
+  int deliver_type = -1;
+  deliver_type = engine.AddHandler([&](const Event& event) {
+    int node = event.node;
+    double at = event.x;
+    have[static_cast<size_t>(node)] = at;
+    completion = std::max(completion, at);
+    double busy = at;
+    for (int child : {2 * node + 1, 2 * node + 2}) {
+      if (child >= num_nodes) continue;
+      busy += transfer;
+      double arrive = busy;
+      engine.ScheduleAt(child, arrive, deliver_type, 0, 0, arrive);
+    }
+  });
+
+  engine.ScheduleAt(0, start_time, deliver_type, 0, 0, start_time);
+  DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
+  (void)stats;
+  return completion;
+}
+
+}  // namespace
+
+Result<double> SimulateTreeReduce(const std::vector<double>& ready_times,
+                                  double bits, core::LinkSpec link,
+                                  const OverheadModel& overhead,
+                                  SimBackend backend) {
+  DMLSCALE_RETURN_NOT_OK(CheckCommon(ready_times.size(), bits, link));
+  if (ready_times.size() == 1) return ready_times[0];
+  if (backend == SimBackend::kLegacy) {
+    return TreeReduceLegacy(ready_times, bits, link, overhead);
+  }
+  return TreeReduceEngine(ready_times, bits, link, overhead);
+}
+
+Result<double> SimulateTreeBroadcast(int num_nodes, double start_time,
+                                     double bits, core::LinkSpec link,
+                                     const OverheadModel& overhead,
+                                     SimBackend backend) {
+  DMLSCALE_RETURN_NOT_OK(
+      CheckCommon(static_cast<size_t>(std::max(num_nodes, 0)), bits, link));
+  if (num_nodes == 1) return start_time;
+  if (backend == SimBackend::kLegacy) {
+    return TreeBroadcastLegacy(num_nodes, start_time, bits, link, overhead);
+  }
+  return TreeBroadcastEngine(num_nodes, start_time, bits, link, overhead);
 }
 
 Result<double> SimulateTorrentBroadcast(int num_nodes, double start_time,

@@ -1,0 +1,275 @@
+#include "sim/event_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "engine/parallel_for.h"
+
+namespace dmlscale::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+Engine::Engine(int num_nodes, EngineOptions options)
+    : num_nodes_(num_nodes),
+      options_(options),
+      queues_(static_cast<size_t>(std::max(num_nodes, 0))),
+      clock_heap_(std::max(num_nodes, 0)),
+      windowed_(options.lookahead > 0.0) {
+  DMLSCALE_CHECK_GE(num_nodes, 1);
+  if (windowed_) {
+    node_seq_.assign(static_cast<size_t>(num_nodes), 0);
+    send_seq_.assign(static_cast<size_t>(num_nodes), 0);
+  }
+  int shards = std::max(options_.exec.num_shards, 1);
+  outboxes_.resize(static_cast<size_t>(shards));
+  shard_events_.assign(static_cast<size_t>(shards), 0);
+  shard_end_time_.assign(static_cast<size_t>(shards), 0.0);
+  shard_next_time_.assign(static_cast<size_t>(shards), kInf);
+  shard_overflow_.assign(static_cast<size_t>(shards), 0);
+}
+
+Status Engine::ValidateOptions() const {
+  if (options_.exec.num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  if (options_.exec.num_shards > 1) {
+    if (!windowed_) {
+      return Status::InvalidArgument(
+          "sharded execution requires a positive lookahead (sequential mode "
+          "has one global event order)");
+    }
+    if (options_.exec.pool == nullptr) {
+      return Status::InvalidArgument("num_shards > 1 requires a thread pool");
+    }
+  }
+  if (options_.lookahead < 0.0) {
+    return Status::InvalidArgument("lookahead must be >= 0");
+  }
+  if (options_.max_events < 0 || options_.time_horizon < 0.0) {
+    return Status::InvalidArgument("run guards must be >= 0");
+  }
+  return Status::OK();
+}
+
+int Engine::AddHandler(Handler handler) {
+  DMLSCALE_CHECK(handler != nullptr);
+  handlers_.push_back(std::move(handler));
+  return static_cast<int>(handlers_.size()) - 1;
+}
+
+void Engine::ScheduleAt(int node, double time, int type, int64_t a, int64_t b,
+                        double x) {
+  DMLSCALE_CHECK(node >= 0 && node < num_nodes_);
+  DMLSCALE_CHECK(type >= 0 && type < static_cast<int>(handlers_.size()));
+  DMLSCALE_CHECK_GE(time, 0.0);
+  Event event{time, 0, static_cast<int32_t>(type), static_cast<int32_t>(node),
+              a, b, x};
+  if (windowed_) {
+    event.seq = node_seq_[static_cast<size_t>(node)]++;
+    queues_[static_cast<size_t>(node)].Push(event);
+    return;
+  }
+  event.seq = global_seq_++;
+  queues_[static_cast<size_t>(node)].Push(event);
+  const Event& top = queues_[static_cast<size_t>(node)].Top();
+  clock_heap_.Update(node, top.time, top.seq, true);
+}
+
+void Engine::Send(int src, int dst, double delay, double now, int type,
+                  int64_t a, int64_t b, double x) {
+  DMLSCALE_CHECK(src >= 0 && src < num_nodes_);
+  DMLSCALE_CHECK_GE(delay, 0.0);
+  if (!windowed_) {
+    ScheduleAt(dst, now + delay, type, a, b, x);
+    return;
+  }
+  // The clock-skew bound: an in-window send must land in a later window.
+  DMLSCALE_CHECK_MSG(options_.lookahead != kInf,
+                     "Send is forbidden in no-communication mode");
+  DMLSCALE_CHECK_GE(delay, options_.lookahead);
+  DMLSCALE_CHECK(dst >= 0 && dst < num_nodes_);
+  DMLSCALE_CHECK(type >= 0 && type < static_cast<int>(handlers_.size()));
+  Mailbox::Message message;
+  message.time = now + delay;
+  message.src = static_cast<int32_t>(src);
+  message.send_seq = send_seq_[static_cast<size_t>(src)]++;
+  message.event = Event{message.time, 0, static_cast<int32_t>(type),
+                        static_cast<int32_t>(dst), a, b, x};
+  // Route into the outbox of the shard owning `src` (engine::ComputeShard's
+  // fixed layout inverted): that shard's worker is the only writer during a
+  // window, so no lock is needed.
+  const int num_shards = options_.exec.num_shards;
+  const int64_t base = num_nodes_ / num_shards;
+  const int64_t remainder = num_nodes_ % num_shards;
+  const int64_t boundary = remainder * (base + 1);
+  const int shard =
+      src < boundary
+          ? static_cast<int>(src / (base + 1))
+          : static_cast<int>(remainder + (src - boundary) / base);
+  outboxes_[static_cast<size_t>(shard)].out.push_back(std::move(message));
+}
+
+void Engine::Deliver(Mailbox::Message message) {
+  Event event = message.event;
+  event.seq = node_seq_[static_cast<size_t>(event.node)]++;
+  queues_[static_cast<size_t>(event.node)].Push(event);
+}
+
+void Engine::StepShard(int shard, double window_end) {
+  engine::ShardRange range = engine::ComputeShard(
+      0, num_nodes_, options_.exec.num_shards, shard);
+  int64_t executed = 0;
+  double end_time = shard_end_time_[static_cast<size_t>(shard)];
+  double next_time = kInf;
+  const int64_t budget =
+      options_.max_events > 0 ? options_.max_events : INT64_MAX;
+  for (int64_t node = range.begin; node < range.end; ++node) {
+    EventHeap& queue = queues_[static_cast<size_t>(node)];
+    while (!queue.empty() && queue.Top().time < window_end) {
+      if (executed >= budget) {
+        // A same-window self-rescheduling chain: stop so Run can surface
+        // ResourceExhausted instead of hanging (deterministic: the budget
+        // depends only on event counts, not thread interleaving).
+        shard_overflow_[static_cast<size_t>(shard)] = 1;
+        shard_events_[static_cast<size_t>(shard)] = executed;
+        shard_end_time_[static_cast<size_t>(shard)] = end_time;
+        shard_next_time_[static_cast<size_t>(shard)] = next_time;
+        return;
+      }
+      Event event = queue.PopTop();
+      end_time = std::max(end_time, event.time);
+      ++executed;
+      handlers_[static_cast<size_t>(event.type)](event);
+    }
+    if (!queue.empty()) next_time = std::min(next_time, queue.Top().time);
+  }
+  shard_events_[static_cast<size_t>(shard)] = executed;
+  shard_end_time_[static_cast<size_t>(shard)] = end_time;
+  shard_next_time_[static_cast<size_t>(shard)] = next_time;
+}
+
+Result<EngineStats> Engine::RunSequential() {
+  EngineStats stats;
+  while (!clock_heap_.empty()) {
+    int node = clock_heap_.TopNode();
+    EventHeap& queue = queues_[static_cast<size_t>(node)];
+    Event event = queue.PopTop();
+    if (queue.empty()) {
+      clock_heap_.Update(node, 0.0, 0, false);
+    } else {
+      clock_heap_.Update(node, queue.Top().time, queue.Top().seq, true);
+    }
+    if (options_.time_horizon > 0.0 && event.time > options_.time_horizon) {
+      return Status::ResourceExhausted(
+          "event at t=" + std::to_string(event.time) +
+          " beyond time horizon " + std::to_string(options_.time_horizon));
+    }
+    if (options_.max_events > 0 &&
+        stats.events_executed >= options_.max_events) {
+      return Status::ResourceExhausted(
+          "event count exceeded max_events=" +
+          std::to_string(options_.max_events));
+    }
+    stats.end_time = std::max(stats.end_time, event.time);
+    ++stats.events_executed;
+    ++stats.windows;
+    handlers_[static_cast<size_t>(event.type)](event);
+  }
+  return stats;
+}
+
+Result<EngineStats> Engine::RunWindowed() {
+  EngineStats stats;
+  const int num_shards = options_.exec.num_shards;
+  std::fill(shard_end_time_.begin(), shard_end_time_.end(), 0.0);
+
+  // Earliest pending event across all nodes (initial schedules are made
+  // serially, so this scan is deterministic).
+  double t_min = kInf;
+  for (const EventHeap& queue : queues_) {
+    if (!queue.empty()) t_min = std::min(t_min, queue.Top().time);
+  }
+
+  while (t_min != kInf) {
+    if (options_.time_horizon > 0.0 && t_min > options_.time_horizon) {
+      return Status::ResourceExhausted(
+          "event at t=" + std::to_string(t_min) + " beyond time horizon " +
+          std::to_string(options_.time_horizon));
+    }
+    const double window_end =
+        options_.lookahead == kInf ? kInf : t_min + options_.lookahead;
+    if (num_shards == 1) {
+      StepShard(0, window_end);
+    } else {
+      engine::ParallelFor(options_.exec.pool, 0, num_nodes_, num_shards,
+                          [this, window_end](int shard, int64_t /*begin*/,
+                                             int64_t /*end*/) {
+                            StepShard(shard, window_end);
+                          });
+    }
+    ++stats.windows;
+    bool overflow = false;
+    double next_time = kInf;
+    for (int s = 0; s < num_shards; ++s) {
+      stats.events_executed += shard_events_[static_cast<size_t>(s)];
+      stats.end_time =
+          std::max(stats.end_time, shard_end_time_[static_cast<size_t>(s)]);
+      next_time = std::min(next_time, shard_next_time_[static_cast<size_t>(s)]);
+      overflow = overflow || shard_overflow_[static_cast<size_t>(s)] != 0;
+    }
+    if (options_.max_events > 0 &&
+        (overflow || stats.events_executed > options_.max_events)) {
+      return Status::ResourceExhausted(
+          "event count exceeded max_events=" +
+          std::to_string(options_.max_events));
+    }
+    // Window barrier: merge the per-shard outboxes and deliver in
+    // (arrival time, src, send seq) order — the ordering that makes the
+    // destination's seq stamps, and thus everything downstream,
+    // shard-count-invariant.
+    size_t total = 0;
+    for (const Mailbox& box : outboxes_) total += box.out.size();
+    if (total > 0) {
+      std::vector<Mailbox::Message> merged;
+      merged.reserve(total);
+      for (Mailbox& box : outboxes_) {
+        for (Mailbox::Message& message : box.out) {
+          merged.push_back(std::move(message));
+        }
+        box.out.clear();
+      }
+      std::sort(merged.begin(), merged.end(),
+                [](const Mailbox::Message& a, const Mailbox::Message& b) {
+                  if (a.time != b.time) return a.time < b.time;
+                  if (a.src != b.src) return a.src < b.src;
+                  return a.send_seq < b.send_seq;
+                });
+      for (Mailbox::Message& message : merged) {
+        next_time = std::min(next_time, message.time);
+        Deliver(std::move(message));
+        ++stats.messages_delivered;
+      }
+    }
+    t_min = next_time;
+  }
+  return stats;
+}
+
+Result<EngineStats> Engine::Run() {
+  DMLSCALE_RETURN_NOT_OK(ValidateOptions());
+  DMLSCALE_CHECK_MSG(!running_, "Engine::Run is not reentrant");
+  running_ = true;
+  Result<EngineStats> result =
+      windowed_ ? RunWindowed() : RunSequential();
+  running_ = false;
+  return result;
+}
+
+}  // namespace dmlscale::sim

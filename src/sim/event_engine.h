@@ -1,0 +1,149 @@
+#ifndef DMLSCALE_SIM_EVENT_ENGINE_H_
+#define DMLSCALE_SIM_EVENT_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "sim/event.h"
+#include "sim/event_heap.h"
+
+namespace dmlscale::sim {
+
+/// How a consumer wants an engine-backed simulation executed. Defaults run
+/// serially; the result is bit-identical for every shard count (the
+/// windowed engine's contract), so sharding is purely a wall-clock knob.
+struct EngineExec {
+  /// Fixed shard count the node set is partitioned into (>= 1). More than
+  /// one requires a pool and a positive lookahead.
+  int num_shards = 1;
+  /// Worker pool the shards are stepped on (not owned). Required when
+  /// num_shards > 1; ignored otherwise.
+  ThreadPool* pool = nullptr;
+};
+
+/// Engine construction options.
+struct EngineOptions {
+  /// Cross-node message lookahead, seconds — the clock-skew bound:
+  ///
+  ///   0                 sequential mode. One global (time, seq) order,
+  ///                     exactly the legacy Simulator's; Send() delivers
+  ///                     immediately; exec.num_shards must be 1.
+  ///   > 0               windowed mode. Nodes step independently inside
+  ///                     [T, T + lookahead) windows; every Send() must have
+  ///                     delay >= lookahead so its arrival falls in a later
+  ///                     window. Shardable; serial and threaded runs are
+  ///                     bit-identical.
+  ///   infinity()        no-communication mode: a single unbounded window;
+  ///                     Send() is forbidden (nodes are fully independent).
+  double lookahead = 0.0;
+
+  /// Run-loop guards (the PR 7 leak family): a self-rescheduling event
+  /// chain becomes a ResourceExhausted error instead of a hang. 0 disables
+  /// a guard.
+  int64_t max_events = 0;
+  double time_horizon = 0.0;
+
+  EngineExec exec;
+};
+
+/// What Run() measured; every field is a pure function of the scheduled
+/// events — independent of shard count and thread interleaving.
+struct EngineStats {
+  int64_t events_executed = 0;
+  /// Time of the latest executed event (0 when none ran).
+  double end_time = 0.0;
+  /// Skew-bounded windows stepped (1 per Run in no-communication mode;
+  /// events_executed in sequential mode — each event is its own "window").
+  int64_t windows = 0;
+  /// Cross-node messages delivered through the ordered mailboxes.
+  int64_t messages_delivered = 0;
+};
+
+/// The parallel discrete-event core (ROADMAP item 2): typed POD event
+/// records in per-node calendar queues feeding an indexed node heap, with an
+/// event-manager loop that either replays the legacy Simulator's global
+/// order (sequential mode) or steps fixed node shards through clock-skew-
+/// bounded windows on engine::ParallelFor (windowed mode).
+///
+/// Determinism contract (windowed mode): a node's state may be touched only
+/// by handlers dispatched on that node; cross-node effects go through
+/// Send(), which buffers into per-shard outboxes during a window and
+/// delivers at the window barrier in (arrival time, src node, src send seq)
+/// order. Node-local event order, mailbox order, and the ordered reductions
+/// below are therefore invariant under the shard count — serial and
+/// threaded runs are bit-identical, the PR 3/4 fixed-shard pattern applied
+/// to simulation itself.
+class Engine {
+ public:
+  /// A handler dispatches one typed event. It runs on the shard owning
+  /// `event.node` and must confine itself to that node's state plus
+  /// ScheduleAt on the same node / Send to any node.
+  using Handler = std::function<void(const Event& event)>;
+
+  Engine(int num_nodes, EngineOptions options);
+
+  /// Registers a handler, returning its event-type id. Register all types
+  /// before the first Schedule; handlers are shared, not per-event.
+  int AddHandler(Handler handler);
+
+  /// Schedules a node-local event at absolute `time`. From inside a
+  /// handler, only the dispatching node may be targeted (windowed mode) and
+  /// `time` must not precede the current event.
+  void ScheduleAt(int node, double time, int type, int64_t a = 0,
+                  int64_t b = 0, double x = 0.0);
+
+  /// Sends a cross-node message: an event on `dst` at `now + delay`, where
+  /// `now` is the sending event's time (or 0 before Run). In windowed mode
+  /// `delay` must be >= lookahead; in sequential mode any delay >= 0.
+  void Send(int src, int dst, double delay, double now, int type,
+            int64_t a = 0, int64_t b = 0, double x = 0.0);
+
+  /// Drains the queues. Returns ResourceExhausted when a guard trips
+  /// (max_events executed and events remain, or the next event lies beyond
+  /// time_horizon); otherwise the run's stats.
+  [[nodiscard]] Result<EngineStats> Run();
+
+  int num_nodes() const { return num_nodes_; }
+
+ private:
+  struct Mailbox {
+    // Outgoing cross-node message, buffered until the window barrier.
+    struct Message {
+      double time = 0.0;     // arrival time at dst
+      int32_t src = 0;       // sending node: first-order tie-break
+      uint64_t send_seq = 0; // per-src send counter: final tie-break
+      Event event;           // event.seq stamped at delivery
+    };
+    std::vector<Message> out;
+  };
+
+  Status ValidateOptions() const;
+  Result<EngineStats> RunSequential();
+  Result<EngineStats> RunWindowed();
+  void Deliver(Mailbox::Message message);
+  void StepShard(int shard, double window_end);
+
+  int num_nodes_;
+  EngineOptions options_;
+  std::vector<Handler> handlers_;
+  std::vector<EventHeap> queues_;        // one calendar queue per node
+  NodeClockHeap clock_heap_;             // sequential-mode global index
+  uint64_t global_seq_ = 0;              // sequential mode: total order
+  std::vector<uint64_t> node_seq_;       // windowed mode: per-node order
+  std::vector<uint64_t> send_seq_;       // windowed mode: per-src mailbox key
+  std::vector<Mailbox> outboxes_;        // one per shard
+  // Per-shard window results, merged in shard order at each barrier.
+  std::vector<int64_t> shard_events_;
+  std::vector<double> shard_end_time_;
+  std::vector<double> shard_next_time_;  // min next event time in shard
+  std::vector<uint8_t> shard_overflow_;  // max_events tripped mid-window
+  bool running_ = false;
+  bool windowed_ = false;
+};
+
+}  // namespace dmlscale::sim
+
+#endif  // DMLSCALE_SIM_EVENT_ENGINE_H_

@@ -1,9 +1,11 @@
 #ifndef DMLSCALE_SIM_NETWORK_SIM_H_
 #define DMLSCALE_SIM_NETWORK_SIM_H_
 
+#include "core/communication_model.h"
 #include "core/hardware.h"
 #include "core/network.h"
 #include "core/topology.h"
+#include "sim/backend.h"
 
 namespace dmlscale::sim {
 
@@ -24,13 +26,23 @@ namespace dmlscale::sim {
 /// form cannot see (the sweep cross-checks they stay within 15% MAPE).
 double SimulateRoundSeconds(const core::TrafficRound& round, int n,
                             const core::LinkSpec& edge,
-                            const core::NetworkSpec& network);
+                            const core::NetworkSpec& network,
+                            SimBackend backend = SimBackend::kEngine);
 
 /// Sum of SimulateRoundSeconds over the pattern's rounds (BSP barrier
 /// between rounds), each scaled by its repeat weight.
 double SimulatePatternSeconds(const core::TrafficPattern& pattern, int n,
                               const core::LinkSpec& edge,
-                              const core::NetworkSpec& network);
+                              const core::NetworkSpec& network,
+                              SimBackend backend = SimBackend::kEngine);
+
+/// SimulatePatternSeconds over a CommunicationModel via its streaming
+/// ForEachRound hook — same sum, but O(round) memory, so pricing a 10k-node
+/// ring-allreduce never materializes its ~2*10^8-flow pattern.
+double SimulateCommSeconds(const core::CommunicationModel& comm, int n,
+                           const core::LinkSpec& edge,
+                           const core::NetworkSpec& network,
+                           SimBackend backend = SimBackend::kEngine);
 
 }  // namespace dmlscale::sim
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "sim/event_engine.h"
 #include "sim/simulator.h"
 
 namespace dmlscale::sim {
@@ -23,12 +24,53 @@ Status ParamServerConfig::Validate() const {
   return Status::OK();
 }
 
-Result<ParamServerStats> SimulateParameterServer(
-    const ParamServerConfig& config, int n, Pcg32* rng) {
-  DMLSCALE_RETURN_NOT_OK(config.Validate());
-  if (n < 1) return Status::InvalidArgument("n must be >= 1");
-  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+namespace {
 
+/// Time constants both backends derive from the config identically.
+struct PsDerived {
+  double compute_base = 0.0;
+  double wire = 0.0;
+  double nic_occupancy = 0.0;
+};
+
+PsDerived Derive(const ParamServerConfig& config) {
+  PsDerived d;
+  d.compute_base = config.ops_per_update / config.node.EffectiveFlops();
+  // Cut-through transfers: the message streams through the worker link and
+  // the server NIC simultaneously, so the end-to-end time is set by the
+  // slower hop (occupying the server NIC for that duration) plus the
+  // worker-link propagation latency. This matches the single-hop
+  // accounting of the closed-form AsyncGdModel.
+  d.wire = config.worker_link.latency_s;
+  d.nic_occupancy =
+      config.message_bits / std::min(config.server_link.bandwidth_bps,
+                                     config.worker_link.bandwidth_bps) +
+      config.overhead.serialize_s_per_bit * config.message_bits;
+  return d;
+}
+
+ParamServerStats FinalizeStats(int64_t completed, double staleness_sum,
+                               double staleness_max, double last_completion,
+                               double nic_busy_total) {
+  ParamServerStats stats;
+  stats.completed_updates = completed;
+  if (last_completion > 0.0) {
+    stats.updates_per_sec =
+        static_cast<double>(completed) / last_completion;
+    stats.server_utilization =
+        std::min(1.0, nic_busy_total / last_completion);
+  }
+  if (completed > 0) {
+    stats.mean_staleness = staleness_sum / static_cast<double>(completed);
+    stats.max_staleness = staleness_max;
+  }
+  return stats;
+}
+
+/// Legacy (closure-based Simulator) reference implementation, retained
+/// verbatim during the engine migration.
+Result<ParamServerStats> ParamServerLegacy(const ParamServerConfig& config,
+                                           int n, Pcg32* rng) {
   struct State {
     Simulator simulator;
     double nic_free = 0.0;
@@ -40,18 +82,10 @@ Result<ParamServerStats> SimulateParameterServer(
     double last_completion = 0.0;
   };
   auto state = std::make_shared<State>();
-
-  double compute_base = config.ops_per_update / config.node.EffectiveFlops();
-  // Cut-through transfers: the message streams through the worker link and
-  // the server NIC simultaneously, so the end-to-end time is set by the
-  // slower hop (occupying the server NIC for that duration) plus the
-  // worker-link propagation latency. This matches the single-hop
-  // accounting of the closed-form AsyncGdModel.
-  double wire = config.worker_link.latency_s;
-  double nic_occupancy =
-      config.message_bits / std::min(config.server_link.bandwidth_bps,
-                                     config.worker_link.bandwidth_bps) +
-      config.overhead.serialize_s_per_bit * config.message_bits;
+  const PsDerived d = Derive(config);
+  const double compute_base = d.compute_base;
+  const double wire = d.wire;
+  const double nic_occupancy = d.nic_occupancy;
 
   // Reserves the server NIC starting no earlier than `earliest`; returns
   // the completion time.
@@ -110,20 +144,91 @@ Result<ParamServerStats> SimulateParameterServer(
   // outlive this call. Break it now that the event queue has drained.
   loop->fn = nullptr;
 
-  ParamServerStats stats;
-  stats.completed_updates = state->completed;
-  if (state->last_completion > 0.0) {
-    stats.updates_per_sec =
-        static_cast<double>(state->completed) / state->last_completion;
-    stats.server_utilization =
-        std::min(1.0, state->nic_busy_total / state->last_completion);
+  return FinalizeStats(state->completed, state->staleness_sum,
+                       state->staleness_max, state->last_completion,
+                       state->nic_busy_total);
+}
+
+/// Engine port: the worker loop becomes three typed events (loop start ->
+/// compute done -> push applied) chained through payload words instead of
+/// heap-allocated closures. The ScheduleAt call sequence mirrors
+/// ParamServerLegacy's exactly and sequential mode assigns seq in call
+/// order, so the event order, RNG draw order, and every stat are
+/// bit-identical (enforced by the golden equivalence tests).
+Result<ParamServerStats> ParamServerEngine(const ParamServerConfig& config,
+                                           int n, Pcg32* rng) {
+  const PsDerived d = Derive(config);
+  const int64_t target = config.target_updates;
+  const OverheadModel overhead = config.overhead;
+  const int server = n;  // node ids: workers [0, n), server n
+
+  double nic_free = 0.0;
+  double nic_busy_total = 0.0;
+  int64_t version = 0;
+  int64_t completed = 0;
+  double staleness_sum = 0.0;
+  double staleness_max = 0.0;
+  double last_completion = 0.0;
+
+  auto reserve_nic = [&](double earliest) {
+    double start = std::max(earliest, nic_free);
+    double done = start + d.nic_occupancy;
+    nic_free = done;
+    nic_busy_total += d.nic_occupancy;
+    return done;
+  };
+
+  Engine engine(n + 1, EngineOptions{});  // sequential mode
+  int loop_type = -1;
+  int compute_done_type = -1;
+  int push_applied_type = -1;
+  // Worker `node` holds parameters pulled at version `a`; start computing.
+  loop_type = engine.AddHandler([&](const Event& event) {
+    double compute = d.compute_base * overhead.SampleJitter(rng);
+    engine.ScheduleAt(event.node, event.time + compute, compute_done_type,
+                      event.a);
+  });
+  // Worker `node`'s gradient is ready: push over the wire onto the NIC.
+  compute_done_type = engine.AddHandler([&](const Event& event) {
+    double push_done = reserve_nic(event.time + d.wire);
+    engine.ScheduleAt(server, push_done, push_applied_type, event.a,
+                      event.node);
+  });
+  // Server applies worker `b`'s update (pull snapshot was version `a`).
+  push_applied_type = engine.AddHandler([&](const Event& event) {
+    double staleness = static_cast<double>(version - event.a);
+    version += 1;
+    completed += 1;
+    staleness_sum += staleness;
+    staleness_max = std::max(staleness_max, staleness);
+    last_completion = event.time;
+    if (completed >= target) return;  // stop spawning
+    double pull_done = reserve_nic(event.time);
+    engine.ScheduleAt(static_cast<int>(event.b), pull_done + d.wire,
+                      loop_type, version);
+  });
+
+  for (int w = 0; w < n; ++w) {
+    engine.ScheduleAt(w, 0.0, loop_type, 0);
   }
-  if (state->completed > 0) {
-    stats.mean_staleness =
-        state->staleness_sum / static_cast<double>(state->completed);
-    stats.max_staleness = state->staleness_max;
+  DMLSCALE_ASSIGN_OR_RETURN(EngineStats engine_stats, engine.Run());
+  (void)engine_stats;
+
+  return FinalizeStats(completed, staleness_sum, staleness_max,
+                       last_completion, nic_busy_total);
+}
+
+}  // namespace
+
+Result<ParamServerStats> SimulateParameterServer(
+    const ParamServerConfig& config, int n, Pcg32* rng, SimBackend backend) {
+  DMLSCALE_RETURN_NOT_OK(config.Validate());
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  if (rng == nullptr) return Status::InvalidArgument("rng must not be null");
+  if (backend == SimBackend::kLegacy) {
+    return ParamServerLegacy(config, n, rng);
   }
-  return stats;
+  return ParamServerEngine(config, n, rng);
 }
 
 }  // namespace dmlscale::sim

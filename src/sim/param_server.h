@@ -7,6 +7,7 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "core/hardware.h"
+#include "sim/backend.h"
 #include "sim/overhead.h"
 
 namespace dmlscale::sim {
@@ -46,9 +47,12 @@ struct ParamServerStats {
   int64_t completed_updates = 0;
 };
 
-/// Runs the simulation with `n` workers.
+/// Runs the simulation with `n` workers. kEngine (the default) runs on
+/// sim::Engine's sequential mode; kLegacy on the closure-based Simulator.
+/// Both produce bit-identical stats (golden equivalence tests).
 Result<ParamServerStats> SimulateParameterServer(
-    const ParamServerConfig& config, int n, Pcg32* rng);
+    const ParamServerConfig& config, int n, Pcg32* rng,
+    SimBackend backend = SimBackend::kEngine);
 
 }  // namespace dmlscale::sim
 

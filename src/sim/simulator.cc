@@ -1,5 +1,7 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -14,15 +16,47 @@ void Simulator::Schedule(double delay, EventFn fn) {
 void Simulator::ScheduleAt(double time, EventFn fn) {
   DMLSCALE_CHECK_GE(time, now_);
   DMLSCALE_CHECK(fn != nullptr);
-  queue_.push(Event{time, next_seq_++, std::move(fn)});
+  queue_.push_back(Event{time, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
+}
+
+Simulator::Event Simulator::PopTop() {
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Event event = std::move(queue_.back());
+  queue_.pop_back();
+  return event;
 }
 
 double Simulator::Run() {
   while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
+    Event event = PopTop();
     now_ = event.time;
     ++events_executed_;
+    event.fn();
+  }
+  return now_;
+}
+
+Result<double> Simulator::Run(const RunLimits& limits) {
+  if (limits.max_events < 0 || limits.time_horizon < 0.0) {
+    return Status::InvalidArgument("run limits must be >= 0");
+  }
+  int64_t executed = 0;
+  while (!queue_.empty()) {
+    if (limits.time_horizon > 0.0 &&
+        queue_.front().time > limits.time_horizon) {
+      return Status::ResourceExhausted(
+          "event at t=" + std::to_string(queue_.front().time) +
+          " beyond time horizon " + std::to_string(limits.time_horizon));
+    }
+    if (limits.max_events > 0 && executed >= limits.max_events) {
+      return Status::ResourceExhausted("event count exceeded max_events=" +
+                                       std::to_string(limits.max_events));
+    }
+    Event event = PopTop();
+    now_ = event.time;
+    ++events_executed_;
+    ++executed;
     event.fn();
   }
   return now_;

@@ -3,17 +3,27 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
+
+#include "common/status.h"
 
 namespace dmlscale::sim {
 
 /// Minimal discrete-event simulator core: a time-ordered queue of events
-/// with deterministic FIFO tie-breaking. All cluster simulations (collective
-/// communication, BSP supersteps) are built on this.
+/// with deterministic FIFO tie-breaking. Retained as the reference backend
+/// while consumers migrate to sim::Engine (see event_engine.h); the two are
+/// kept behaviourally identical by the golden-equivalence tests.
 class Simulator {
  public:
   using EventFn = std::function<void()>;
+
+  /// Guards against runaway event chains; 0 disables a guard.
+  struct RunLimits {
+    /// Maximum events Run may execute before failing.
+    int64_t max_events = 0;
+    /// Latest event time Run may reach before failing.
+    double time_horizon = 0.0;
+  };
 
   /// Current simulation time, seconds.
   double Now() const { return now_; }
@@ -26,6 +36,11 @@ class Simulator {
 
   /// Runs until the queue is empty. Returns the final time.
   double Run();
+
+  /// Runs until the queue is empty or a guard trips. A tripped guard (a
+  /// self-rescheduling event chain that would otherwise hang the caller)
+  /// returns ResourceExhausted; otherwise returns the final time.
+  [[nodiscard]] Result<double> Run(const RunLimits& limits);
 
   /// Number of events executed by Run() so far.
   int64_t events_executed() const { return events_executed_; }
@@ -43,10 +58,13 @@ class Simulator {
     }
   };
 
+  /// Removes and returns the earliest event without copying its closure.
+  Event PopTop();
+
   double now_ = 0.0;
   int64_t next_seq_ = 0;
   int64_t events_executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> queue_;  // binary heap ordered by Later
 };
 
 }  // namespace dmlscale::sim

@@ -1,9 +1,12 @@
 #include "sim/workloads.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
+#include <vector>
 
 #include "sim/collectives.h"
+#include "sim/event_engine.h"
 #include "sim/simulator.h"
 
 namespace dmlscale::sim {
@@ -144,24 +147,55 @@ Result<double> SimulateGenericSuperstep(const SuperstepSimConfig& config,
                                    std::to_string(n));
   }
 
+  const double serialize =
+      config.overhead.serialize_s_per_bit * config.message_bits;
   double total = 0.0;
+  if (config.backend == SimBackend::kLegacy) {
+    for (int step = 0; step < config.supersteps; ++step) {
+      Simulator simulator;
+      double barrier = 0.0;
+      // Scheduling delays every worker's start; the barrier falls when the
+      // slowest (jittered) worker finishes.
+      double start = config.overhead.SchedulingSeconds(n);
+      for (int worker = 0; worker < n; ++worker) {
+        double finish = start + compute * config.overhead.SampleJitter(rng);
+        simulator.ScheduleAt(finish, [&barrier, &simulator] {
+          barrier = std::max(barrier, simulator.Now());
+        });
+      }
+      simulator.Run();
+      simulator.ScheduleAt(barrier + comm + serialize, [] {});
+      total += simulator.Run();
+    }
+    return total / static_cast<double>(config.supersteps);
+  }
+
+  // Engine port. Jitter is drawn at SCHEDULE time in worker order — exactly
+  // the legacy draw sequence — so the backends consume identical RNG streams.
+  // Workers never communicate inside a superstep, so the engine runs in
+  // no-communication mode (one unbounded window); each worker's event writes
+  // only its own finish slot, making the run shard-safe, and the barrier is
+  // a max over the slots (order-independent), so any shard count yields the
+  // legacy value bit-for-bit.
+  std::vector<double> finish_times(static_cast<size_t>(n), 0.0);
   for (int step = 0; step < config.supersteps; ++step) {
-    Simulator simulator;
-    double barrier = 0.0;
-    // Scheduling delays every worker's start; the barrier falls when the
-    // slowest (jittered) worker finishes.
+    EngineOptions options;
+    options.lookahead = std::numeric_limits<double>::infinity();
+    options.exec = config.exec;
+    Engine engine(n, options);
+    int finish_type = engine.AddHandler([&finish_times](const Event& event) {
+      finish_times[static_cast<size_t>(event.node)] = event.time;
+    });
     double start = config.overhead.SchedulingSeconds(n);
     for (int worker = 0; worker < n; ++worker) {
       double finish = start + compute * config.overhead.SampleJitter(rng);
-      simulator.ScheduleAt(finish, [&barrier, &simulator] {
-        barrier = std::max(barrier, simulator.Now());
-      });
+      engine.ScheduleAt(worker, finish, finish_type);
     }
-    simulator.Run();
-    double serialize =
-        config.overhead.serialize_s_per_bit * config.message_bits;
-    simulator.ScheduleAt(barrier + comm + serialize, [] {});
-    total += simulator.Run();
+    DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
+    (void)stats;
+    double barrier = 0.0;
+    for (double finish : finish_times) barrier = std::max(barrier, finish);
+    total += barrier + comm + serialize;
   }
   return total / static_cast<double>(config.supersteps);
 }

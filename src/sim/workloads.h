@@ -8,6 +8,8 @@
 #include "common/random.h"
 #include "common/status.h"
 #include "core/hardware.h"
+#include "sim/backend.h"
+#include "sim/event_engine.h"
 #include "sim/overhead.h"
 
 namespace dmlscale::sim {
@@ -81,6 +83,13 @@ struct SuperstepSimConfig {
   OverheadModel overhead;
   /// Supersteps to average over (straggler jitter makes runs stochastic).
   int supersteps = 3;
+  /// Which discrete-event core runs the supersteps. Both backends are
+  /// bit-identical; kLegacy is the migration reference.
+  SimBackend backend = SimBackend::kEngine;
+  /// Engine execution knobs (kEngine only). Workers are independent inside
+  /// a superstep, so this runs in the engine's no-communication mode and
+  /// any shard count gives the identical mean.
+  EngineExec exec;
 
   Status Validate() const;
 };

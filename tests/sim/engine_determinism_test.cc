@@ -1,0 +1,165 @@
+// The windowed engine's headline contract, tested as a property: a
+// simulation's result is a pure function of its configuration — the shard
+// count and thread pool are wall-clock knobs only. Serial (1-shard) runs
+// and 2/4/8-shard threaded runs of every shardable scenario must produce
+// EXPECT_EQ-identical numbers, bit for bit, not just approximately.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/thread_pool.h"
+#include "sim/scale_scenarios.h"
+#include "sim/workloads.h"
+
+namespace dmlscale::sim {
+namespace {
+
+constexpr int kShardCounts[] = {2, 4, 8};
+
+core::LinkSpec TestLink() {
+  return core::LinkSpec{.bandwidth_bps = 1e9, .latency_s = 1e-5};
+}
+
+RingScaleConfig RingConfig() {
+  RingScaleConfig config;
+  config.num_nodes = 97;  // prime: uneven shard boundaries
+  config.bits = 97 * 8000;
+  config.link = TestLink();
+  config.compute_seconds = 3e-6;
+  config.straggler_sigma = 0.4;
+  config.seed = 7;
+  return config;
+}
+
+TEST(EngineDeterminismTest, RingAllReduceIsShardCountInvariant) {
+  Result<ScaleStats> serial = SimulateRingAllReduceAtScale(RingConfig());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial.value().seconds, 0.0);
+  for (int shards : kShardCounts) {
+    ThreadPool pool(static_cast<size_t>(shards));
+    RingScaleConfig config = RingConfig();
+    config.exec.num_shards = shards;
+    config.exec.pool = &pool;
+    Result<ScaleStats> sharded = SimulateRingAllReduceAtScale(config);
+    ASSERT_TRUE(sharded.ok());
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(sharded.value().seconds, serial.value().seconds)
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.value().engine.events_executed,
+              serial.value().engine.events_executed);
+    EXPECT_EQ(sharded.value().engine.windows, serial.value().engine.windows);
+    EXPECT_EQ(sharded.value().engine.messages_delivered,
+              serial.value().engine.messages_delivered);
+  }
+}
+
+TEST(EngineDeterminismTest, RingStepCapIsShardCountInvariant) {
+  RingScaleConfig base = RingConfig();
+  base.max_steps = 17;
+  Result<ScaleStats> serial = SimulateRingAllReduceAtScale(base);
+  ASSERT_TRUE(serial.ok());
+  for (int shards : kShardCounts) {
+    ThreadPool pool(static_cast<size_t>(shards));
+    RingScaleConfig config = base;
+    config.exec.num_shards = shards;
+    config.exec.pool = &pool;
+    Result<ScaleStats> sharded = SimulateRingAllReduceAtScale(config);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded.value().seconds, serial.value().seconds);
+    EXPECT_EQ(sharded.value().engine.events_executed,
+              serial.value().engine.events_executed);
+  }
+}
+
+PsScaleConfig PsConfig() {
+  PsScaleConfig config;
+  config.num_workers = 53;
+  config.steps_per_worker = 9;
+  config.bits = 64000;
+  config.link = TestLink();
+  config.compute_seconds = 2e-4;
+  config.straggler_sigma = 0.5;
+  config.seed = 11;
+  return config;
+}
+
+TEST(EngineDeterminismTest, ParameterServerIsShardCountInvariant) {
+  Result<ScaleStats> serial = SimulateParameterServerAtScale(PsConfig());
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial.value().seconds, 0.0);
+  for (int shards : kShardCounts) {
+    ThreadPool pool(static_cast<size_t>(shards));
+    PsScaleConfig config = PsConfig();
+    config.exec.num_shards = shards;
+    config.exec.pool = &pool;
+    Result<ScaleStats> sharded = SimulateParameterServerAtScale(config);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded.value().seconds, serial.value().seconds)
+        << "shards=" << shards;
+    EXPECT_EQ(sharded.value().engine.events_executed,
+              serial.value().engine.events_executed);
+    EXPECT_EQ(sharded.value().engine.messages_delivered,
+              serial.value().engine.messages_delivered);
+  }
+}
+
+TEST(EngineDeterminismTest, GenericSuperstepIsShardCountInvariant) {
+  SuperstepSimConfig base;
+  base.compute_seconds = [](int n) { return 10.0 / n; };
+  base.comm_seconds = [](int n) { return 0.01 * n; };
+  base.message_bits = 1e6;
+  base.overhead.sched_fixed_s = 0.002;
+  base.overhead.sched_per_worker_s = 1e-5;
+  base.overhead.serialize_s_per_bit = 1e-9;
+  base.overhead.straggler_sigma = 0.3;
+  base.supersteps = 4;
+
+  Pcg32 serial_rng(99);
+  Result<double> serial = SimulateGenericSuperstep(base, 31, &serial_rng);
+  ASSERT_TRUE(serial.ok());
+  for (int shards : kShardCounts) {
+    ThreadPool pool(static_cast<size_t>(shards));
+    SuperstepSimConfig config = base;
+    config.exec.num_shards = shards;
+    config.exec.pool = &pool;
+    Pcg32 rng(99);
+    Result<double> sharded = SimulateGenericSuperstep(config, 31, &rng);
+    ASSERT_TRUE(sharded.ok());
+    EXPECT_EQ(sharded.value(), serial.value()) << "shards=" << shards;
+  }
+}
+
+TEST(EngineDeterminismTest, MoreShardsThanNodesStillIdentical) {
+  RingScaleConfig config = RingConfig();
+  config.num_nodes = 5;
+  config.bits = 5 * 8000;
+  Result<ScaleStats> serial = SimulateRingAllReduceAtScale(config);
+  ASSERT_TRUE(serial.ok());
+  ThreadPool pool(8);
+  config.exec.num_shards = 8;
+  config.exec.pool = &pool;
+  Result<ScaleStats> sharded = SimulateRingAllReduceAtScale(config);
+  ASSERT_TRUE(sharded.ok());
+  EXPECT_EQ(sharded.value().seconds, serial.value().seconds);
+}
+
+TEST(EngineDeterminismTest, RepeatedShardedRunsAreIdentical) {
+  ThreadPool pool(4);
+  PsScaleConfig config = PsConfig();
+  config.exec.num_shards = 4;
+  config.exec.pool = &pool;
+  Result<ScaleStats> first = SimulateParameterServerAtScale(config);
+  ASSERT_TRUE(first.ok());
+  for (int run = 0; run < 3; ++run) {
+    Result<ScaleStats> again = SimulateParameterServerAtScale(config);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().seconds, first.value().seconds);
+    EXPECT_EQ(again.value().engine.events_executed,
+              first.value().engine.events_executed);
+  }
+}
+
+}  // namespace
+}  // namespace dmlscale::sim

@@ -1,0 +1,255 @@
+#include "sim/event_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "sim/event_heap.h"
+
+namespace dmlscale::sim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(EventHeapTest, PopsInTimeThenSeqOrder) {
+  EventHeap heap;
+  heap.Push(Event{.time = 2.0, .seq = 0});
+  heap.Push(Event{.time = 1.0, .seq = 2});
+  heap.Push(Event{.time = 1.0, .seq = 1});
+  ASSERT_EQ(heap.size(), 3u);
+  EXPECT_DOUBLE_EQ(heap.Top().time, 1.0);
+  EXPECT_EQ(heap.PopTop().seq, 1u);
+  EXPECT_EQ(heap.PopTop().seq, 2u);
+  EXPECT_DOUBLE_EQ(heap.PopTop().time, 2.0);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(NodeClockHeapTest, TracksEarliestNode) {
+  NodeClockHeap heap(3);
+  EXPECT_TRUE(heap.empty());
+  heap.Update(0, 5.0, 0, true);
+  heap.Update(1, 3.0, 0, true);
+  heap.Update(2, 4.0, 0, true);
+  EXPECT_EQ(heap.TopNode(), 1);
+  heap.Update(1, 6.0, 1, true);  // node 1 advances past the others
+  EXPECT_EQ(heap.TopNode(), 2);
+  heap.Update(2, 0.0, 0, false);  // node 2 runs dry
+  EXPECT_EQ(heap.TopNode(), 0);
+  heap.Update(0, 0.0, 0, false);
+  heap.Update(1, 0.0, 0, false);
+  EXPECT_TRUE(heap.empty());
+}
+
+TEST(NodeClockHeapTest, SeqBreaksTimeTies) {
+  NodeClockHeap heap(2);
+  heap.Update(0, 1.0, 7, true);
+  heap.Update(1, 1.0, 3, true);
+  EXPECT_EQ(heap.TopNode(), 1);  // lower seq fires first
+}
+
+TEST(EventEngineTest, SequentialExecutesInTimeOrder) {
+  Engine engine(1, EngineOptions{});
+  std::vector<int64_t> order;
+  const int type = engine.AddHandler(
+      [&](const Event& event) { order.push_back(event.a); });
+  engine.ScheduleAt(0, 3.0, type, 3);
+  engine.ScheduleAt(0, 1.0, type, 1);
+  engine.ScheduleAt(0, 2.0, type, 2);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(order, (std::vector<int64_t>{1, 2, 3}));
+  EXPECT_EQ(stats.value().events_executed, 3);
+  EXPECT_DOUBLE_EQ(stats.value().end_time, 3.0);
+}
+
+TEST(EventEngineTest, SequentialFifoTieBreakingAcrossNodes) {
+  // Three same-time events on three nodes execute in ScheduleAt call order
+  // — the legacy Simulator's (time, schedule-order) contract.
+  Engine engine(3, EngineOptions{});
+  std::vector<int> order;
+  const int type = engine.AddHandler(
+      [&](const Event& event) { order.push_back(event.node); });
+  engine.ScheduleAt(2, 1.0, type);
+  engine.ScheduleAt(0, 1.0, type);
+  engine.ScheduleAt(1, 1.0, type);
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
+}
+
+TEST(EventEngineTest, HandlersCanScheduleAndSend) {
+  Engine engine(2, EngineOptions{});
+  std::vector<double> times;
+  int send_type = -1;
+  const int start_type = engine.AddHandler([&](const Event& event) {
+    times.push_back(event.time);
+    engine.Send(event.node, 1, 0.5, event.time, send_type);
+  });
+  send_type = engine.AddHandler([&](const Event& event) {
+    EXPECT_EQ(event.node, 1);
+    times.push_back(event.time);
+  });
+  engine.ScheduleAt(0, 1.0, start_type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(stats.value().end_time, 1.5);
+}
+
+TEST(EventEngineTest, EmptyRunReturnsZeroStats) {
+  Engine engine(4, EngineOptions{});
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().events_executed, 0);
+  EXPECT_DOUBLE_EQ(stats.value().end_time, 0.0);
+}
+
+TEST(EventEngineTest, WindowedDeliversThroughMailboxes) {
+  EngineOptions options;
+  options.lookahead = 1.0;
+  Engine engine(2, options);
+  std::vector<double> arrivals;
+  const int type = engine.AddHandler(
+      [&](const Event& event) { arrivals.push_back(event.time); });
+  int ping_type = -1;
+  ping_type = engine.AddHandler([&](const Event& event) {
+    if (event.a > 0) {
+      engine.Send(event.node, 1 - event.node, 1.0, event.time, ping_type,
+                  event.a - 1);
+    } else {
+      engine.Send(event.node, 1 - event.node, 1.0, event.time, type);
+    }
+  });
+  engine.ScheduleAt(0, 0.0, ping_type, 3);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_DOUBLE_EQ(arrivals[0], 4.0);  // 4 hops of delay 1.0
+  EXPECT_EQ(stats.value().messages_delivered, 4);
+  EXPECT_EQ(stats.value().events_executed, 5);
+  EXPECT_GE(stats.value().windows, 4);
+}
+
+TEST(EventEngineTest, NoCommModeRunsEverythingInOneWindow) {
+  EngineOptions options;
+  options.lookahead = kInf;
+  Engine engine(3, options);
+  int executed = 0;
+  const int type = engine.AddHandler([&](const Event& event) {
+    ++executed;
+    if (event.a > 0) {
+      engine.ScheduleAt(event.node, event.time + 1.0, event.type, event.a - 1);
+    }
+  });
+  for (int node = 0; node < 3; ++node) {
+    engine.ScheduleAt(node, 0.0, type, 2);
+  }
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(executed, 9);
+  EXPECT_EQ(stats.value().windows, 1);
+  EXPECT_DOUBLE_EQ(stats.value().end_time, 2.0);
+}
+
+TEST(EventEngineTest, MaxEventsGuardTurnsRunawayChainIntoError) {
+  // A self-rescheduling chain that would hang forever without the guard.
+  EngineOptions options;
+  options.max_events = 100;
+  Engine engine(1, options);
+  int type = -1;
+  type = engine.AddHandler([&](const Event& event) {
+    engine.ScheduleAt(0, event.time + 1.0, type);
+  });
+  engine.ScheduleAt(0, 0.0, type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EventEngineTest, MaxEventsGuardTripsInWindowedMode) {
+  EngineOptions options;
+  options.lookahead = 0.5;
+  options.max_events = 100;
+  Engine engine(2, options);
+  int type = -1;
+  type = engine.AddHandler([&](const Event& event) {
+    engine.Send(event.node, 1 - event.node, 0.5, event.time, type);
+  });
+  engine.ScheduleAt(0, 0.0, type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EventEngineTest, MaxEventsGuardTripsOnSameWindowChain) {
+  // Zero-delay self-rescheduling inside one window: StepShard's per-window
+  // budget, not the barrier check, must catch it.
+  EngineOptions options;
+  options.lookahead = kInf;  // single unbounded window
+  options.max_events = 50;
+  Engine engine(1, options);
+  int type = -1;
+  type = engine.AddHandler([&](const Event& event) {
+    engine.ScheduleAt(0, event.time + 1.0, type);
+  });
+  engine.ScheduleAt(0, 0.0, type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EventEngineTest, TimeHorizonGuardStopsLateEvents) {
+  EngineOptions options;
+  options.time_horizon = 10.0;
+  Engine engine(1, options);
+  int fired = 0;
+  const int type = engine.AddHandler([&](const Event&) { ++fired; });
+  engine.ScheduleAt(0, 5.0, type);
+  engine.ScheduleAt(0, 50.0, type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(fired, 1);  // the in-horizon event still ran
+}
+
+TEST(EventEngineTest, GuardsLeaveCompletingRunsUntouched) {
+  EngineOptions options;
+  options.max_events = 10;
+  options.time_horizon = 100.0;
+  Engine engine(1, options);
+  const int type = engine.AddHandler([](const Event&) {});
+  for (int i = 0; i < 5; ++i) {
+    engine.ScheduleAt(0, static_cast<double>(i), type);
+  }
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().events_executed, 5);
+}
+
+TEST(EventEngineTest, ShardedRunRejectsSequentialMode) {
+  ThreadPool pool(2);
+  EngineOptions options;  // lookahead 0: one global order, unshardable
+  options.exec.num_shards = 2;
+  options.exec.pool = &pool;
+  Engine engine(4, options);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventEngineTest, ShardedRunRequiresPool) {
+  EngineOptions options;
+  options.lookahead = 1.0;
+  options.exec.num_shards = 2;  // no pool
+  Engine engine(4, options);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace dmlscale::sim

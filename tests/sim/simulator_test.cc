@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace dmlscale::sim {
@@ -68,6 +69,38 @@ TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
   simulator.ScheduleAt(4.0, [&] { seen = simulator.Now(); });
   simulator.Run();
   EXPECT_DOUBLE_EQ(seen, 4.0);
+}
+
+TEST(SimulatorTest, MaxEventsGuardTurnsRunawayChainIntoError) {
+  // A self-rescheduling chain that would hang Run() forever; the guarded
+  // overload must surface ResourceExhausted instead.
+  Simulator simulator;
+  std::function<void()> chain = [&] { simulator.Schedule(1.0, chain); };
+  simulator.Schedule(0.0, chain);
+  Result<double> end = simulator.Run({.max_events = 1000});
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(simulator.events_executed(), 1000);
+}
+
+TEST(SimulatorTest, TimeHorizonGuardStopsLateEvents) {
+  Simulator simulator;
+  int fired = 0;
+  simulator.ScheduleAt(5.0, [&] { ++fired; });
+  simulator.ScheduleAt(50.0, [&] { ++fired; });
+  Result<double> end = simulator.Run({.time_horizon = 10.0});
+  ASSERT_FALSE(end.ok());
+  EXPECT_EQ(end.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(fired, 1);  // the in-horizon event still ran
+}
+
+TEST(SimulatorTest, GuardedRunReturnsFinalTimeWhenWithinLimits) {
+  Simulator simulator;
+  simulator.ScheduleAt(2.0, [] {});
+  simulator.ScheduleAt(3.0, [] {});
+  Result<double> end = simulator.Run({.max_events = 10, .time_horizon = 5.0});
+  ASSERT_TRUE(end.ok());
+  EXPECT_DOUBLE_EQ(end.value(), 3.0);
 }
 
 }  // namespace

@@ -1,0 +1,63 @@
+// The sweep layer over the event engine: a threaded sweep whose cells
+// simulate (and price a contended fabric through the per-link DES) must
+// emit byte-identical CSVs whichever sim backend the options axis selects
+// — the sweep-level face of the engine's legacy-equivalence contract.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "api/presets.h"
+#include "sim/backend.h"
+#include "sweep/grid.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+
+namespace dmlscale::sweep {
+namespace {
+
+ScenarioAxisPoint ContendedRingPoint() {
+  api::ModelParams comm;
+  comm.Set("bits", 4e8)
+      .Set("topology", "fat-tree")
+      .Set("oversubscription", 4.0)
+      .Set("queue", "mm1")
+      .Set("load", 0.25);
+  return ScenarioAxisPoint{.label = "ring-fat-tree",
+                           .compute_model = "perfectly-parallel",
+                           .compute_params = {{"total_flops", 9e10}},
+                           .comm_model = "ring-allreduce",
+                           .comm_params = comm,
+                           .supersteps = 1};
+}
+
+SweepGrid BackendGrid(sim::SimBackend backend) {
+  SweepGrid grid;
+  grid.AddScenario(ContendedRingPoint());
+  grid.AddHardware({.label = "gflop-gige",
+                    .cluster = api::presets::Fig1Cluster(12)});
+  api::AnalysisOptions options;
+  options.simulate = true;
+  options.sim_supersteps = 2;
+  options.overhead.straggler_sigma = 0.3;
+  options.sim_backend = backend;
+  grid.AddOptions({.label = "sim", .options = options});
+  return grid;
+}
+
+TEST(SweepBackendTest, EngineAndLegacyBackendsEmitIdenticalCsv) {
+  SweepRunnerOptions threaded;
+  threaded.threads = 4;
+  auto engine =
+      SweepRunner(threaded).Run(BackendGrid(sim::SimBackend::kEngine));
+  auto legacy =
+      SweepRunner(threaded).Run(BackendGrid(sim::SimBackend::kLegacy));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(engine->num_ok(), engine->cells.size());
+  EXPECT_EQ(engine->ToCsv(), legacy->ToCsv());
+  EXPECT_NE(engine->ToCsv().find("ring-fat-tree"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmlscale::sweep
