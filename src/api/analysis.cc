@@ -219,6 +219,50 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
     }
   }
 
+  if (scenario.fault_aware() || options.fault_target_seconds > 0.0) {
+    const core::FaultSpec& faults = scenario.faults();
+    core::ScalableTimeFn time_fn = [&times](int n, double data_scale) {
+      return data_scale * times.compute_s(n) + times.comm_s(n);
+    };
+    core::CapacityPlanner planner(time_fn, max_nodes);
+    if (scenario.fault_aware()) {
+      report.availability = core::Availability(faults);
+      const double base = times.Seconds(report.optimal_nodes);
+      auto at_optimum =
+          core::ExpectedCompletionSeconds(faults, report.optimal_nodes, base);
+      if (at_optimum.ok() && base > 0.0) {
+        report.expected_slowdown = at_optimum.value() / base;
+      }
+      // Failures shift the optimum: the system crash rate grows with n, so
+      // the expected-time argmin can sit left of the fault-free one.
+      // Infeasible counts (a replica takeover that cannot keep up) are
+      // skipped, not errors.
+      double best_seconds = 0.0;
+      int best_nodes = 0;
+      for (int n : report.curve.nodes) {
+        auto expected =
+            core::ExpectedCompletionSeconds(faults, n, times.Seconds(n));
+        if (!expected.ok()) continue;
+        if (best_nodes == 0 || expected.value() < best_seconds) {
+          best_seconds = expected.value();
+          best_nodes = n;
+        }
+      }
+      if (best_nodes > 0) report.fault_optimal_nodes = best_nodes;
+      if (faults.CrashesEnabled() && faults.checkpoint_cost_s > 0.0) {
+        auto interval =
+            planner.OptimalCheckpointInterval(options.current_nodes, faults);
+        if (interval.ok()) {
+          report.optimal_checkpoint_interval_s = interval.value();
+        }
+      }
+    }
+    if (options.fault_target_seconds > 0.0) {
+      report.fault_target_answer = ToAnswer(planner.NodesForTargetTimeUnderFaults(
+          options.fault_target_seconds, faults));
+    }
+  }
+
   if (options.simulate) {
     DMLSCALE_ASSIGN_OR_RETURN(
         core::SpeedupCurve simulated,
@@ -307,6 +351,31 @@ void PrintReport(const AnalysisReport& report, std::ostream& os) {
     os << "Q2 (machines to absorb the workload growth): "
        << (q2.achievable ? std::to_string(q2.nodes)
                          : "not achievable — " + q2.note)
+       << "\n";
+  }
+  // Failure lines only for fault-aware scenarios: fault-free reports must
+  // stay byte-identical to the pre-failure-model output.
+  if (report.availability.has_value()) {
+    os << "Failure model: node availability "
+       << FormatDouble(*report.availability, 4);
+    if (report.expected_slowdown.has_value()) {
+      os << "; expected slowdown at the fault-free optimum x"
+         << FormatDouble(*report.expected_slowdown, 4);
+    }
+    if (report.fault_optimal_nodes.has_value()) {
+      os << "; failure-aware optimal nodes = " << *report.fault_optimal_nodes;
+    }
+    os << "\n";
+  }
+  if (report.optimal_checkpoint_interval_s.has_value()) {
+    os << "Young/Daly checkpoint interval: "
+       << FormatDouble(*report.optimal_checkpoint_interval_s, 4) << " s\n";
+  }
+  if (report.fault_target_answer.has_value()) {
+    const PlannerAnswer& q3 = *report.fault_target_answer;
+    os << "Q3 (machines for the target time under failures): "
+       << (q3.achievable ? std::to_string(q3.nodes)
+                         : "not achievable — " + q3.note)
        << "\n";
   }
 }

@@ -38,6 +38,13 @@ struct AnalysisOptions {
   double workload_growth = 0.0;
   int current_nodes = 1;
 
+  /// > 0: answer "how many machines finish an iteration within this many
+  /// seconds ONCE FAILURES ARE ACCOUNTED FOR?" (the failure-aware Q3,
+  /// priced with core::ExpectedCompletionSeconds under the scenario's
+  /// fault spec — which may be the disabled spec, reducing the question to
+  /// plain target time).
+  double fault_target_seconds = 0.0;
+
   /// Cross-check the analytic curve against the discrete-event simulator.
   bool simulate = false;
   /// Framework overheads injected into the simulation; None() makes the
@@ -131,6 +138,24 @@ struct AnalysisReport {
   /// times against them, percent.
   std::vector<core::TimingSample> measured;
   std::optional<double> model_vs_measured_mape;
+
+  /// Present when the scenario carries an enabled failure model
+  /// (Scenario::fault_aware()); fault-free reports stay byte-identical.
+  /// Steady-state fraction of each node that is up, mtbf/(mtbf+mttr).
+  std::optional<double> availability;
+  /// Expected completion under failures divided by the fault-free time, at
+  /// the fault-free optimal_nodes (>= 1; how much the failure processes
+  /// stretch the optimum the paper's analysis would pick).
+  std::optional<double> expected_slowdown;
+  /// argmin over the curve's node counts of the EXPECTED completion time —
+  /// failures shift the optimum because the system crash rate grows with n.
+  /// Absent when no evaluated count is feasible (e.g. saturated replica).
+  std::optional<int> fault_optimal_nodes;
+  /// Young/Daly sqrt(2*C*MTBF_sys) at options.current_nodes, when the spec
+  /// has both a crash process and a checkpoint cost.
+  std::optional<double> optimal_checkpoint_interval_s;
+  /// Present when options.fault_target_seconds was requested (Q3).
+  std::optional<PlannerAnswer> fault_target_answer;
 };
 
 /// The unified front door: speedup analysis, capacity planning, and the

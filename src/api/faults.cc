@@ -1,0 +1,100 @@
+#include "api/faults.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace dmlscale::api {
+
+namespace {
+
+constexpr std::string_view kDistributions[] = {"exponential", "weibull"};
+constexpr std::string_view kRecoveries[] = {"checkpoint-restart", "replica",
+                                            "speculative"};
+
+std::string Menu(const std::string_view* begin, const std::string_view* end) {
+  std::vector<std::string> names(begin, end);
+  return Join(names, ", ", "<none>");
+}
+
+/// kInvalidArgument when `key` is present but its owning selection is not
+/// the active one (the ResolveNetworkSpec RequireOwner idiom).
+Status RequireOwner(const ModelParams& params, const std::string& key,
+                    const std::string& selected, std::string_view owner,
+                    const std::string& owner_kind) {
+  if (params.Has(key) && selected != owner) {
+    return Status::InvalidArgument(
+        "parameter '" + key + "' requires " + owner_kind + "='" +
+        std::string(owner) + "' (selected: '" + selected + "')");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<core::FaultSpec> ResolveFaultSpec(const ModelParams& params) {
+  DMLSCALE_RETURN_NOT_OK(params.ExpectOnly(
+      {"mtbf", "mttr", "weibull_shape", "straggler", "checkpoint_interval",
+       "checkpoint_cost", "takeover", "spec_threshold", "link_mtbf",
+       "link_degrade_duration", "link_degrade_factor", "mtbf_dist",
+       "recovery"}));
+
+  const std::string dist = params.GetStringOr("mtbf_dist", "exponential");
+  const std::string recovery =
+      params.GetStringOr("recovery", "checkpoint-restart");
+
+  DMLSCALE_RETURN_NOT_OK(
+      RequireOwner(params, "weibull_shape", dist, "weibull", "mtbf_dist"));
+  DMLSCALE_RETURN_NOT_OK(
+      RequireOwner(params, "takeover", recovery, "replica", "recovery"));
+  DMLSCALE_RETURN_NOT_OK(RequireOwner(params, "spec_threshold", recovery,
+                                      "speculative", "recovery"));
+  if ((params.Has("checkpoint_interval") || params.Has("checkpoint_cost")) &&
+      recovery == "replica") {
+    return Status::InvalidArgument(
+        "checkpoint parameters are meaningless under recovery='replica' "
+        "(the hot spare keeps the state); drop them or pick "
+        "recovery='checkpoint-restart' or 'speculative'");
+  }
+
+  core::FaultSpec spec;
+  if (dist == "exponential") {
+    spec.distribution = core::FaultDistribution::kExponential;
+  } else if (dist == "weibull") {
+    spec.distribution = core::FaultDistribution::kWeibull;
+    spec.weibull_shape = params.GetOr("weibull_shape", 1.0);
+  } else {
+    return Status::InvalidArgument(
+        "unknown mtbf_dist '" + dist + "'; available: " +
+        Menu(std::begin(kDistributions), std::end(kDistributions)));
+  }
+  if (recovery == "checkpoint-restart") {
+    spec.recovery = core::RecoveryStrategy::kCheckpointRestart;
+  } else if (recovery == "replica") {
+    spec.recovery = core::RecoveryStrategy::kReplicaTakeover;
+    spec.takeover_seconds = params.GetOr("takeover", 0.0);
+  } else if (recovery == "speculative") {
+    spec.recovery = core::RecoveryStrategy::kSpeculativeReexec;
+    spec.speculation_threshold = params.GetOr("spec_threshold", 2.0);
+  } else {
+    return Status::InvalidArgument(
+        "unknown recovery '" + recovery + "'; available: " +
+        Menu(std::begin(kRecoveries), std::end(kRecoveries)));
+  }
+
+  spec.mtbf_seconds = params.GetOr("mtbf", 0.0);
+  spec.mttr_seconds = params.GetOr("mttr", 0.0);
+  spec.straggler_sigma = params.GetOr("straggler", 0.0);
+  spec.checkpoint_interval_s = params.GetOr("checkpoint_interval", 0.0);
+  spec.checkpoint_cost_s = params.GetOr("checkpoint_cost", 0.0);
+  spec.link_mtbf_seconds = params.GetOr("link_mtbf", 0.0);
+  spec.link_degrade_seconds = params.GetOr("link_degrade_duration", 0.0);
+  spec.link_degrade_factor = params.GetOr("link_degrade_factor", 1.0);
+
+  DMLSCALE_RETURN_NOT_OK(spec.Validate());
+  return spec;
+}
+
+}  // namespace dmlscale::api

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <utility>
 
+#include "api/faults.h"
 #include "api/registry.h"
 #include "common/check.h"
 #include "core/computation_model.h"
@@ -79,6 +80,20 @@ std::string Scenario::CacheKey() const {
     AppendExact(&blob, value);
   }
   for (const auto& [key, value] : comm_params_.strings()) {
+    blob += key;
+    blob += '=';
+    blob += value;
+    blob += ';';
+  }
+  blob += '|';
+  // Fault keys: two cells differing only in mtbf share neither expected
+  // slowdown nor availability, so they must not share a memo row.
+  for (const auto& [key, value] : fault_params_.values()) {
+    blob += key;
+    blob += '=';
+    AppendExact(&blob, value);
+  }
+  for (const auto& [key, value] : fault_params_.strings()) {
     blob += key;
     blob += '=';
     blob += value;
@@ -163,6 +178,11 @@ Scenario::Builder& Scenario::Builder::Comm(std::string model,
   has_comm_ = true;
   comm_model_ = std::move(model);
   comm_params_ = std::move(params);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Faults(ModelParams params) {
+  fault_params_ = std::move(params);
   return *this;
 }
 
@@ -255,6 +275,9 @@ Result<Scenario> Scenario::Builder::Build() const {
       std::unique_ptr<core::CommunicationModel> comm,
       CommModels().Create(comm_name, comm_params, link));
 
+  DMLSCALE_ASSIGN_OR_RETURN(core::FaultSpec faults,
+                            ResolveFaultSpec(fault_params_));
+
   Scenario scenario;
   scenario.name_ = name_;
   scenario.cluster_ = core::ClusterSpec{.node = *node_,
@@ -268,6 +291,8 @@ Result<Scenario> Scenario::Builder::Build() const {
   scenario.comm_name_ = std::move(comm_name);
   scenario.compute_params_ = compute_params_;
   scenario.comm_params_ = std::move(comm_params);
+  scenario.faults_ = faults;
+  scenario.fault_params_ = fault_params_;
   scenario.compute_coefficient_ = compute_coefficient_;
   scenario.comm_coefficient_ = comm_coefficient_;
   return scenario;

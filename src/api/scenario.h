@@ -9,6 +9,7 @@
 
 #include "api/params.h"
 #include "common/status.h"
+#include "core/faults.h"
 #include "core/hardware.h"
 #include "core/speedup.h"
 #include "core/superstep.h"
@@ -93,6 +94,16 @@ class Scenario final : public core::AlgorithmModel {
   /// per-link contention and queueing apply.
   bool contended() const { return !step_->comm().network().Ideal(); }
 
+  /// The resolved failure model (the disabled spec unless Builder::Faults
+  /// was given).
+  const core::FaultSpec& faults() const { return faults_; }
+  /// The parameter bag faults() was resolved from (empty when fault-free).
+  const ModelParams& fault_params() const { return fault_params_; }
+  /// True when the scenario carries an enabled failure model — analysis
+  /// then prices expected slowdown and availability on top of the
+  /// fault-free curve.
+  bool fault_aware() const { return faults_.Enabled(); }
+
   /// A digest uniquely identifying the scenario's MODEL — name, hardware,
   /// model names, every parameter (numeric and string, so topology/queue
   /// selections count), supersteps, coefficients. Memoization keys MUST use
@@ -117,6 +128,8 @@ class Scenario final : public core::AlgorithmModel {
   std::string comm_name_;
   ModelParams compute_params_;
   ModelParams comm_params_;
+  core::FaultSpec faults_;
+  ModelParams fault_params_;
   double compute_coefficient_ = 1.0;
   double comm_coefficient_ = 1.0;
 };
@@ -150,6 +163,12 @@ class Scenario::Builder {
   /// Selects a registered communication model by name.
   Builder& Comm(std::string model, ModelParams params = {});
 
+  /// Attaches a failure model, resolved through api::ResolveFaultSpec
+  /// (keys: mtbf, mttr, straggler, recovery, checkpoint_interval, ...).
+  /// Build() validates the bag eagerly; the empty bag keeps the scenario
+  /// fault-free.
+  Builder& Faults(ModelParams params);
+
   /// Supersteps per iteration (>= 1); the iteration time is their sum.
   Builder& Supersteps(int count);
 
@@ -181,6 +200,8 @@ class Scenario::Builder {
   bool has_comm_ = false;
   std::string comm_model_;
   ModelParams comm_params_;
+
+  ModelParams fault_params_;
 
   double compute_coefficient_ = 1.0;
   double comm_coefficient_ = 1.0;

@@ -1,5 +1,7 @@
 #include "core/planner.h"
 
+#include <string>
+
 #include "common/check.h"
 
 namespace dmlscale::core {
@@ -49,6 +51,48 @@ Result<int> CapacityPlanner::NodesForWorkloadGrowth(int current_nodes,
     if (time_fn_(n, growth) <= current_time) return n;
   }
   return Status::NotFound("growth cannot be absorbed within max_nodes");
+}
+
+Result<int> CapacityPlanner::NodesForTargetTimeUnderFaults(
+    double target_seconds, const FaultSpec& faults, int min_nodes) const {
+  if (target_seconds <= 0.0) {
+    return Status::InvalidArgument("target time must be > 0");
+  }
+  if (min_nodes < 1 || min_nodes > max_nodes_) {
+    return Status::InvalidArgument("min_nodes out of range");
+  }
+  DMLSCALE_RETURN_NOT_OK(faults.Validate());
+  for (int n = min_nodes; n <= max_nodes_; ++n) {
+    Result<double> expected =
+        ExpectedCompletionSeconds(faults, n, time_fn_(n, 1.0));
+    // A node count whose recovery saturates (replica takeover drag >= 1)
+    // simply cannot hit any target; keep scanning.
+    if (!expected.ok()) continue;
+    if (expected.value() <= target_seconds) return n;
+  }
+  return Status::NotFound(
+      "no node count within " + std::to_string(max_nodes_) +
+      " reaches the target time once failures are accounted for");
+}
+
+Result<double> CapacityPlanner::OptimalCheckpointInterval(
+    int nodes, const FaultSpec& faults) const {
+  if (nodes < 1 || nodes > max_nodes_) {
+    return Status::InvalidArgument("nodes out of range");
+  }
+  DMLSCALE_RETURN_NOT_OK(faults.Validate());
+  if (!faults.CrashesEnabled()) {
+    return Status::InvalidArgument(
+        "optimal checkpoint interval needs a crash process; set mtbf_seconds "
+        "> 0");
+  }
+  if (faults.checkpoint_cost_s <= 0.0) {
+    return Status::InvalidArgument(
+        "optimal checkpoint interval needs a checkpoint price; set "
+        "checkpoint_cost_s > 0");
+  }
+  return YoungDalyInterval(faults.checkpoint_cost_s,
+                           faults.mtbf_seconds / static_cast<double>(nodes));
 }
 
 int CapacityPlanner::OptimalNodes() const {

@@ -2,6 +2,7 @@
 #define DMLSCALE_CORE_PLANNER_H_
 
 #include "common/status.h"
+#include "core/faults.h"
 #include "core/scaling.h"
 
 namespace dmlscale::core {
@@ -38,6 +39,21 @@ class CapacityPlanner {
 
   /// The node count with the minimum absolute run time (the speedup peak).
   int OptimalNodes() const;
+
+  /// Failure-aware Question 3: smallest `n >= min_nodes` whose EXPECTED run
+  /// time under `faults` — core::ExpectedCompletionSeconds over the
+  /// fault-free time t(n) — is <= `target_seconds`. More nodes cut the
+  /// fault-free time but raise the system crash rate, so this can answer
+  /// "impossible" where the perfect-cluster planner would not. Node counts
+  /// whose recovery cannot keep up (replica takeover saturated) are skipped.
+  [[nodiscard]] Result<int> NodesForTargetTimeUnderFaults(
+      double target_seconds, const FaultSpec& faults, int min_nodes = 1) const;
+
+  /// Failure-aware Question 4: the Young/Daly optimal checkpoint interval
+  /// sqrt(2 * C * mtbf / n) at `nodes` machines. InvalidArgument unless the
+  /// spec enables crashes and prices checkpoints (checkpoint_cost_s > 0).
+  [[nodiscard]] Result<double> OptimalCheckpointInterval(
+      int nodes, const FaultSpec& faults) const;
 
  private:
   ScalableTimeFn time_fn_;

@@ -121,7 +121,7 @@ Result<double> TreeReduceEngine(const std::vector<double>& ready_times,
     double done = start + transfer;
     link_busy[static_cast<size_t>(parent)] = done;
     // Event: `parent` finishes receiving a child's message at `done`.
-    engine.ScheduleAt(parent, done, recv_type, 0, 0, done);
+    engine.MustScheduleAt(parent, done, recv_type, 0, 0, done);
   };
   recv_type = engine.AddHandler([&](const Event& event) {
     int parent = event.node;
@@ -136,7 +136,7 @@ Result<double> TreeReduceEngine(const std::vector<double>& ready_times,
 
   for (int i = 0; i < n; ++i) {
     if (pending_children[static_cast<size_t>(i)] == 0) {
-      engine.ScheduleAt(i, ready_times[static_cast<size_t>(i)], start_type);
+      engine.MustScheduleAt(i, ready_times[static_cast<size_t>(i)], start_type);
     }
   }
   DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
@@ -195,11 +195,11 @@ Result<double> TreeBroadcastEngine(int num_nodes, double start_time,
       if (child >= num_nodes) continue;
       busy += transfer;
       double arrive = busy;
-      engine.ScheduleAt(child, arrive, deliver_type, 0, 0, arrive);
+      engine.MustScheduleAt(child, arrive, deliver_type, 0, 0, arrive);
     }
   });
 
-  engine.ScheduleAt(0, start_time, deliver_type, 0, 0, start_time);
+  engine.MustScheduleAt(0, start_time, deliver_type, 0, 0, start_time);
   DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
   (void)stats;
   return completion;

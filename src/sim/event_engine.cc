@@ -64,9 +64,13 @@ int Engine::AddHandler(Handler handler) {
   return static_cast<int>(handlers_.size()) - 1;
 }
 
-void Engine::ScheduleAt(int node, double time, int type, int64_t a, int64_t b,
-                        double x) {
-  DMLSCALE_CHECK(node >= 0 && node < num_nodes_);
+Status Engine::ScheduleAt(int node, double time, int type, int64_t a,
+                          int64_t b, double x) {
+  if (node < 0 || node >= num_nodes_) {
+    return Status::InvalidArgument(
+        "ScheduleAt node " + std::to_string(node) + " out of range [0, " +
+        std::to_string(num_nodes_) + ")");
+  }
   DMLSCALE_CHECK(type >= 0 && type < static_cast<int>(handlers_.size()));
   DMLSCALE_CHECK_GE(time, 0.0);
   Event event{time, 0, static_cast<int32_t>(type), static_cast<int32_t>(node),
@@ -74,12 +78,19 @@ void Engine::ScheduleAt(int node, double time, int type, int64_t a, int64_t b,
   if (windowed_) {
     event.seq = node_seq_[static_cast<size_t>(node)]++;
     queues_[static_cast<size_t>(node)].Push(event);
-    return;
+    return Status::OK();
   }
   event.seq = global_seq_++;
   queues_[static_cast<size_t>(node)].Push(event);
   const Event& top = queues_[static_cast<size_t>(node)].Top();
   clock_heap_.Update(node, top.time, top.seq, true);
+  return Status::OK();
+}
+
+void Engine::MustScheduleAt(int node, double time, int type, int64_t a,
+                            int64_t b, double x) {
+  Status status = ScheduleAt(node, time, type, a, b, x);
+  DMLSCALE_CHECK_MSG(status.ok(), "MustScheduleAt on an invalid node");
 }
 
 void Engine::Send(int src, int dst, double delay, double now, int type,
@@ -87,7 +98,8 @@ void Engine::Send(int src, int dst, double delay, double now, int type,
   DMLSCALE_CHECK(src >= 0 && src < num_nodes_);
   DMLSCALE_CHECK_GE(delay, 0.0);
   if (!windowed_) {
-    ScheduleAt(dst, now + delay, type, a, b, x);
+    DMLSCALE_CHECK(dst >= 0 && dst < num_nodes_);
+    MustScheduleAt(dst, now + delay, type, a, b, x);
     return;
   }
   // The clock-skew bound: an in-window send must land in a later window.
@@ -169,13 +181,19 @@ Result<EngineStats> Engine::RunSequential() {
     if (options_.time_horizon > 0.0 && event.time > options_.time_horizon) {
       return Status::ResourceExhausted(
           "event at t=" + std::to_string(event.time) +
-          " beyond time horizon " + std::to_string(options_.time_horizon));
+          " beyond time horizon " + std::to_string(options_.time_horizon) +
+          " (" + std::to_string(stats.events_executed) +
+          " events executed, sim time reached " +
+          std::to_string(stats.end_time) + ")");
     }
     if (options_.max_events > 0 &&
         stats.events_executed >= options_.max_events) {
       return Status::ResourceExhausted(
           "event count exceeded max_events=" +
-          std::to_string(options_.max_events));
+          std::to_string(options_.max_events) + " (" +
+          std::to_string(stats.events_executed) +
+          " events executed, sim time reached " +
+          std::to_string(stats.end_time) + ")");
     }
     stats.end_time = std::max(stats.end_time, event.time);
     ++stats.events_executed;
@@ -201,7 +219,10 @@ Result<EngineStats> Engine::RunWindowed() {
     if (options_.time_horizon > 0.0 && t_min > options_.time_horizon) {
       return Status::ResourceExhausted(
           "event at t=" + std::to_string(t_min) + " beyond time horizon " +
-          std::to_string(options_.time_horizon));
+          std::to_string(options_.time_horizon) + " (" +
+          std::to_string(stats.events_executed) +
+          " events executed, sim time reached " +
+          std::to_string(stats.end_time) + ")");
     }
     const double window_end =
         options_.lookahead == kInf ? kInf : t_min + options_.lookahead;
@@ -228,7 +249,10 @@ Result<EngineStats> Engine::RunWindowed() {
         (overflow || stats.events_executed > options_.max_events)) {
       return Status::ResourceExhausted(
           "event count exceeded max_events=" +
-          std::to_string(options_.max_events));
+          std::to_string(options_.max_events) + " (" +
+          std::to_string(stats.events_executed) +
+          " events executed, sim time reached " +
+          std::to_string(stats.end_time) + ")");
     }
     // Window barrier: merge the per-shard outboxes and deliver in
     // (arrival time, src, send seq) order — the ordering that makes the

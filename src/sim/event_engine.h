@@ -91,9 +91,18 @@ class Engine {
 
   /// Schedules a node-local event at absolute `time`. From inside a
   /// handler, only the dispatching node may be targeted (windowed mode) and
-  /// `time` must not precede the current event.
-  void ScheduleAt(int node, double time, int type, int64_t a = 0,
-                  int64_t b = 0, double x = 0.0);
+  /// `time` must not precede the current event. An out-of-range `node` is
+  /// InvalidArgument — scenario code computing node ids from config data
+  /// gets an actionable error instead of a CHECK abort.
+  [[nodiscard]] Status ScheduleAt(int node, double time, int type,
+                                  int64_t a = 0, int64_t b = 0,
+                                  double x = 0.0);
+
+  /// ScheduleAt for call sites whose node id is correct by construction
+  /// (e.g. `event.node` inside a handler): CHECK-fails on error instead of
+  /// returning it.
+  void MustScheduleAt(int node, double time, int type, int64_t a = 0,
+                      int64_t b = 0, double x = 0.0);
 
   /// Sends a cross-node message: an event on `dst` at `now + delay`, where
   /// `now` is the sending event's time (or 0 before Run). In windowed mode

@@ -1,0 +1,70 @@
+#ifndef DMLSCALE_SIM_FAULT_SCENARIOS_H_
+#define DMLSCALE_SIM_FAULT_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/faults.h"
+#include "core/hardware.h"
+#include "sim/event_engine.h"
+#include "sim/fault_injector.h"
+
+namespace dmlscale::sim {
+
+/// A checkpointed data-parallel job under a core::FaultSpec, simulated
+/// event-by-event: nodes [0, num_workers) run FaultInjector crash/degrade
+/// processes; node `num_workers` is the coordinator, which drives the job as
+/// the checkpoint segments core::ResolveCheckpointPlan prescribes. Each
+/// segment takes `interval * max(worker slowdowns) + checkpoint_cost`
+/// seconds of wall clock; a crash notification rolls the current segment
+/// back (checkpoint/restart, speculative) or extends it by the takeover
+/// delay (replica), exactly the processes behind
+/// core::ExpectedCompletionSeconds — the DES cross-checks the closed forms.
+struct FaultJobConfig {
+  int num_workers = 0;
+  /// Fault-free work of the whole job, seconds (split into segments by
+  /// core::ResolveCheckpointPlan).
+  double work_seconds = 0.0;
+  core::FaultSpec faults;
+  /// Control-plane link carrying crash notifications and stop messages; its
+  /// wire time for `control_bits` is the engine lookahead, so it must be
+  /// positive (give the link a latency) and should be small against the
+  /// checkpoint interval.
+  core::LinkSpec link;
+  int64_t control_bits = 0;
+  uint64_t seed = 1;
+  /// Independent runs averaged by SimulateExpectedCompletionSeconds
+  /// (DeriveSeed(seed, trial) each).
+  int trials = 1;
+  /// Run guard forwarded to EngineOptions::max_events (0 = off). A replica
+  /// spec whose takeover cannot keep up with the crash rate never finishes;
+  /// the guard turns that into ResourceExhausted.
+  int64_t max_events = 0;
+  EngineExec exec;
+};
+
+/// One run's outcome. Every field is shard-count-invariant (the engine's
+/// determinism contract plus node-owned injector/coordinator state).
+struct FaultJobStats {
+  /// When the final segment committed (not the engine end time, which
+  /// includes the tail of no-op fault-chain events after retirement).
+  double completion_seconds = 0.0;
+  int64_t segments_completed = 0;
+  /// Segment restarts / takeover extensions forced by crash notifications.
+  int64_t disruptions = 0;
+  FaultInjector::Counters faults;
+  EngineStats engine;
+};
+
+/// Simulates one job run with config.seed.
+[[nodiscard]] Result<FaultJobStats> SimulateFaultAwareJob(
+    const FaultJobConfig& config);
+
+/// Mean completion over config.trials independent runs — the Monte Carlo
+/// estimate core::ExpectedCompletionSeconds is cross-checked against.
+[[nodiscard]] Result<double> SimulateExpectedCompletionSeconds(
+    const FaultJobConfig& config);
+
+}  // namespace dmlscale::sim
+
+#endif  // DMLSCALE_SIM_FAULT_SCENARIOS_H_

@@ -108,7 +108,7 @@ double RoundSecondsEngine(const core::TrafficRound& round,
     free_at = start + service;
     if (hop + 1 < static_cast<int>(path.size())) {
       const int next_link = path[static_cast<size_t>(hop) + 1];
-      engine.ScheduleAt(next_link, start + edge.latency_s, arrive_type, flow,
+      engine.MustScheduleAt(next_link, start + edge.latency_s, arrive_type, flow,
                         hop + 1);
     } else {
       finish = std::max(finish, start + service + edge.latency_s);
@@ -116,7 +116,7 @@ double RoundSecondsEngine(const core::TrafficRound& round,
   });
   for (size_t f = 0; f < round.flows.size(); ++f) {
     if (paths[f].empty()) continue;
-    engine.ScheduleAt(paths[f][0], 0.0, arrive_type, static_cast<int>(f), 0);
+    engine.MustScheduleAt(paths[f][0], 0.0, arrive_type, static_cast<int>(f), 0);
   }
   Result<EngineStats> run = engine.Run();
   DMLSCALE_CHECK(run.ok());

@@ -185,13 +185,13 @@ Result<ParamServerStats> ParamServerEngine(const ParamServerConfig& config,
   // Worker `node` holds parameters pulled at version `a`; start computing.
   loop_type = engine.AddHandler([&](const Event& event) {
     double compute = d.compute_base * overhead.SampleJitter(rng);
-    engine.ScheduleAt(event.node, event.time + compute, compute_done_type,
+    engine.MustScheduleAt(event.node, event.time + compute, compute_done_type,
                       event.a);
   });
   // Worker `node`'s gradient is ready: push over the wire onto the NIC.
   compute_done_type = engine.AddHandler([&](const Event& event) {
     double push_done = reserve_nic(event.time + d.wire);
-    engine.ScheduleAt(server, push_done, push_applied_type, event.a,
+    engine.MustScheduleAt(server, push_done, push_applied_type, event.a,
                       event.node);
   });
   // Server applies worker `b`'s update (pull snapshot was version `a`).
@@ -204,12 +204,12 @@ Result<ParamServerStats> ParamServerEngine(const ParamServerConfig& config,
     last_completion = event.time;
     if (completed >= target) return;  // stop spawning
     double pull_done = reserve_nic(event.time);
-    engine.ScheduleAt(static_cast<int>(event.b), pull_done + d.wire,
+    engine.MustScheduleAt(static_cast<int>(event.b), pull_done + d.wire,
                       loop_type, version);
   });
 
   for (int w = 0; w < n; ++w) {
-    engine.ScheduleAt(w, 0.0, loop_type, 0);
+    engine.MustScheduleAt(w, 0.0, loop_type, 0);
   }
   DMLSCALE_ASSIGN_OR_RETURN(EngineStats engine_stats, engine.Run());
   (void)engine_stats;

@@ -47,11 +47,15 @@ Result<double> Simulator::Run(const RunLimits& limits) {
         queue_.front().time > limits.time_horizon) {
       return Status::ResourceExhausted(
           "event at t=" + std::to_string(queue_.front().time) +
-          " beyond time horizon " + std::to_string(limits.time_horizon));
+          " beyond time horizon " + std::to_string(limits.time_horizon) +
+          " (" + std::to_string(executed) +
+          " events executed, sim time reached " + std::to_string(now_) + ")");
     }
     if (limits.max_events > 0 && executed >= limits.max_events) {
-      return Status::ResourceExhausted("event count exceeded max_events=" +
-                                       std::to_string(limits.max_events));
+      return Status::ResourceExhausted(
+          "event count exceeded max_events=" +
+          std::to_string(limits.max_events) + " (" + std::to_string(executed) +
+          " events executed, sim time reached " + std::to_string(now_) + ")");
     }
     Event event = PopTop();
     now_ = event.time;

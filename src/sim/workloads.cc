@@ -189,7 +189,7 @@ Result<double> SimulateGenericSuperstep(const SuperstepSimConfig& config,
     double start = config.overhead.SchedulingSeconds(n);
     for (int worker = 0; worker < n; ++worker) {
       double finish = start + compute * config.overhead.SampleJitter(rng);
-      engine.ScheduleAt(worker, finish, finish_type);
+      engine.MustScheduleAt(worker, finish, finish_type);
     }
     DMLSCALE_ASSIGN_OR_RETURN(EngineStats stats, engine.Run());
     (void)stats;

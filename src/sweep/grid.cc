@@ -67,6 +67,24 @@ std::vector<ScenarioAxisPoint> ExpandNetworkAxis(
   return expanded;
 }
 
+std::vector<ScenarioAxisPoint> ExpandFaultAxis(
+    const ScenarioAxisPoint& base, const std::vector<FaultAxisPoint>& axis) {
+  std::vector<ScenarioAxisPoint> expanded;
+  expanded.reserve(axis.size());
+  for (const FaultAxisPoint& faults : axis) {
+    ScenarioAxisPoint point = base;
+    point.label = base.label + "-" + faults.label;
+    for (const auto& [key, value] : faults.params.values()) {
+      point.fault_params.Set(key, value);
+    }
+    for (const auto& [key, value] : faults.params.strings()) {
+      point.fault_params.Set(key, value);
+    }
+    expanded.push_back(std::move(point));
+  }
+  return expanded;
+}
+
 SweepGrid& SweepGrid::AddScenario(ScenarioAxisPoint point) {
   scenarios_.push_back(std::move(point));
   return *this;
@@ -150,6 +168,11 @@ Result<api::Scenario> SweepGrid::BuildScenario(const SweepCell& cell) const {
                        scenario.comm_coefficient);
   if (!scenario.comm_model.empty()) {
     builder.Comm(scenario.comm_model, scenario.comm_params);
+  }
+  const bool has_faults = !scenario.fault_params.values().empty() ||
+                          !scenario.fault_params.strings().empty();
+  if (has_faults) {
+    builder.Faults(scenario.fault_params);
   }
   return builder.Build();
 }

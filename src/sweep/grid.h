@@ -24,6 +24,9 @@ struct ScenarioAxisPoint {
   api::ModelParams compute_params;
   std::string comm_model;
   api::ModelParams comm_params;
+  /// Failure-model keys of api/faults.h (`mtbf`, `straggler`, `recovery`,
+  /// ...); the empty bag keeps the cell fault-free.
+  api::ModelParams fault_params;
   int supersteps = 1;
   /// Calibration coefficients baked into the built scenario
   /// (`Scenario::Builder::WithCalibration`); both 1.0 = the a-priori model.
@@ -56,6 +59,21 @@ struct NetworkAxisPoint {
 /// scenario x topology product — the contention ablation of the sweep.
 std::vector<ScenarioAxisPoint> ExpandNetworkAxis(
     const ScenarioAxisPoint& base, const std::vector<NetworkAxisPoint>& axis);
+
+/// One point on a FAILURE-MODEL ablation axis: a label plus the fault keys
+/// of api/faults.h (`mtbf`, `mttr`, `straggler`, `recovery`, ...). An empty
+/// bag is the perfect cluster.
+struct FaultAxisPoint {
+  std::string label;
+  api::ModelParams params;
+};
+
+/// Expands `base` into one scenario point per failure model: each copy is
+/// labeled "<base label>-<fault label>" and has the fault keys merged into
+/// its fault params (keys already present in `base` are overridden). The
+/// MTBF/straggler grid sweeps of the failure tour are this product.
+std::vector<ScenarioAxisPoint> ExpandFaultAxis(
+    const ScenarioAxisPoint& base, const std::vector<FaultAxisPoint>& axis);
 
 /// One point on the hardware axis: a named cluster (node, link, max_nodes,
 /// shared_memory), typically from `api::presets`.

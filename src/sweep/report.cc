@@ -26,6 +26,11 @@ std::string MeasuredMapeCell(const api::AnalysisReport& report) {
   return FormatDouble(*report.model_vs_measured_mape, 3);
 }
 
+std::string OptionalCell(const std::optional<double>& value, int digits) {
+  if (!value.has_value()) return "";
+  return FormatDouble(*value, digits);
+}
+
 // Efficiency at the curve's optimum, via the curve's own definition so the
 // sweep emitters can never drift from core::SpeedupCurve::Efficiency().
 double PeakEfficiency(const api::AnalysisReport& report) {
@@ -65,7 +70,8 @@ std::string SweepReport::ToCsv() const {
   CsvWriter csv({"cell", "scenario", "hardware", "options", "comm", "status",
                  "t_ref_s", "optimal_nodes", "first_local_peak",
                  "peak_speedup", "peak_efficiency", "scalable", "q1_nodes",
-                 "q2_nodes", "mape_pct", "measured_mape_pct"});
+                 "q2_nodes", "mape_pct", "measured_mape_pct", "availability",
+                 "expected_slowdown"});
   for (const SweepCellResult& cell : cells) {
     std::vector<std::string> row{std::to_string(cell.index),
                                  cell.scenario_label, cell.hardware_label,
@@ -81,10 +87,15 @@ std::string SweepReport::ToCsv() const {
                   FormatDouble(PeakEfficiency(r), 4),
                   r.scalable ? "yes" : "no", PlannerCell(r.speedup_answer),
                   PlannerCell(r.growth_answer), MapeCell(r),
-                  MeasuredMapeCell(r)});
+                  MeasuredMapeCell(r), OptionalCell(r.availability, 4),
+                  OptionalCell(r.expected_slowdown, 4)});
     } else {
-      row.insert(row.end(), {cell.status.ToString(), "", "", "", "", "", "",
-                             "", "", "", ""});
+      std::string status = cell.status.ToString();
+      if (cell.attempts > 1) {
+        status += " (attempts=" + std::to_string(cell.attempts) + ")";
+      }
+      row.insert(row.end(), {std::move(status), "", "", "", "", "", "", "",
+                             "", "", "", "", ""});
     }
     csv.AddRow(std::move(row));
   }

@@ -23,6 +23,9 @@ struct SweepCellResult {
   Status status;
   /// Meaningful only when `status.ok()`.
   api::AnalysisReport report;
+  /// How many times the runner ran the cell (2 after its one retry of a
+  /// failed cell; the CSV status column records the count).
+  int attempts = 1;
 
   bool ok() const { return status.ok(); }
 };
@@ -56,14 +59,17 @@ struct SweepReport {
   /// One row per cell, grid order. Header:
   ///   cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,
   ///   first_local_peak,peak_speedup,peak_efficiency,scalable,
-  ///   q1_nodes,q2_nodes,mape_pct,measured_mape_pct
+  ///   q1_nodes,q2_nodes,mape_pct,measured_mape_pct,availability,
+  ///   expected_slowdown
   /// `comm` is the decorated communication label (with its @topology/queue
   /// suffix on contended cells), so topology-ablation rows stay
   /// distinguishable even under shared scenario labels. Numeric columns are
   /// empty for failed cells; q1/q2 are empty when the planner question was
   /// not asked and "n/a" when unachievable; mape_pct is empty when the cell
   /// did not simulate; measured_mape_pct is empty unless the cell's options
-  /// carried measured timing samples.
+  /// carried measured timing samples; availability/expected_slowdown are
+  /// empty for fault-free cells. A failed cell's status records its retry
+  /// as a trailing " (attempts=2)".
   std::string ToCsv() const;
 
   /// The best-cell ranking (top `top_k` rows) with per-cell optimal nodes,

@@ -25,31 +25,41 @@ Result<SweepReport> SweepRunner::Run(const SweepGrid& grid) const {
   report.threads = options_.threads;
   report.cells.resize(cells.size());
 
-  // Each task writes only its own slot, so the collection needs no lock and
-  // the result vector is in grid order by construction.
-  auto run_cell = [this, &grid, &cache, &report](const SweepCell& cell) {
-    SweepCellResult& result = report.cells[cell.index];
-    result.index = cell.index;
-    result.scenario_label = grid.scenario_of(cell).label;
-    result.hardware_label = grid.hardware_of(cell).label;
-    result.options_label = grid.options_of(cell).label;
-
+  // One attempt at a cell: build the scenario, run the analysis, fill the
+  // result slot. Returns the attempt's status.
+  auto attempt_cell = [this, &grid, &cache](const SweepCell& cell,
+                                            SweepCellResult& result) {
     auto scenario = grid.BuildScenario(cell);
-    if (!scenario.ok()) {
-      result.status = scenario.status();
-      return;
-    }
+    if (!scenario.ok()) return scenario.status();
     api::AnalysisOptions options = grid.options_of(cell).options;
     options.sim_seed =
         DeriveSeed(options_.base_seed, static_cast<uint64_t>(cell.index));
     options.threads = 1;
     options.eval_cache = options_.use_eval_cache ? &cache : nullptr;
     auto analysis = api::Analysis::Run(*scenario, options);
-    if (!analysis.ok()) {
-      result.status = analysis.status();
-      return;
-    }
+    if (!analysis.ok()) return analysis.status();
     result.report = std::move(analysis).value();
+    return Status::OK();
+  };
+
+  // Each task writes only its own slot, so the collection needs no lock and
+  // the result vector is in grid order by construction. A failed cell is
+  // retried exactly once with the SAME derived seed: the pipeline is
+  // deterministic, so a deterministic failure fails identically both times
+  // (keeping serial and threaded CSVs byte-identical) while the retry count
+  // lands in the status column for the operator to see.
+  auto run_cell = [&grid, &attempt_cell, &report](const SweepCell& cell) {
+    SweepCellResult& result = report.cells[cell.index];
+    result.index = cell.index;
+    result.scenario_label = grid.scenario_of(cell).label;
+    result.hardware_label = grid.hardware_of(cell).label;
+    result.options_label = grid.options_of(cell).label;
+
+    result.status = attempt_cell(cell, result);
+    if (!result.status.ok()) {
+      result.attempts = 2;
+      result.status = attempt_cell(cell, result);
+    }
   };
 
   if (options_.threads > 1) {

@@ -55,9 +55,9 @@ TEST(EventEngineTest, SequentialExecutesInTimeOrder) {
   std::vector<int64_t> order;
   const int type = engine.AddHandler(
       [&](const Event& event) { order.push_back(event.a); });
-  engine.ScheduleAt(0, 3.0, type, 3);
-  engine.ScheduleAt(0, 1.0, type, 1);
-  engine.ScheduleAt(0, 2.0, type, 2);
+  engine.MustScheduleAt(0, 3.0, type, 3);
+  engine.MustScheduleAt(0, 1.0, type, 1);
+  engine.MustScheduleAt(0, 2.0, type, 2);
   Result<EngineStats> stats = engine.Run();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(order, (std::vector<int64_t>{1, 2, 3}));
@@ -72,9 +72,9 @@ TEST(EventEngineTest, SequentialFifoTieBreakingAcrossNodes) {
   std::vector<int> order;
   const int type = engine.AddHandler(
       [&](const Event& event) { order.push_back(event.node); });
-  engine.ScheduleAt(2, 1.0, type);
-  engine.ScheduleAt(0, 1.0, type);
-  engine.ScheduleAt(1, 1.0, type);
+  engine.MustScheduleAt(2, 1.0, type);
+  engine.MustScheduleAt(0, 1.0, type);
+  engine.MustScheduleAt(1, 1.0, type);
   ASSERT_TRUE(engine.Run().ok());
   EXPECT_EQ(order, (std::vector<int>{2, 0, 1}));
 }
@@ -91,7 +91,7 @@ TEST(EventEngineTest, HandlersCanScheduleAndSend) {
     EXPECT_EQ(event.node, 1);
     times.push_back(event.time);
   });
-  engine.ScheduleAt(0, 1.0, start_type);
+  engine.MustScheduleAt(0, 1.0, start_type);
   Result<EngineStats> stats = engine.Run();
   ASSERT_TRUE(stats.ok());
   ASSERT_EQ(times.size(), 2u);
@@ -124,7 +124,7 @@ TEST(EventEngineTest, WindowedDeliversThroughMailboxes) {
       engine.Send(event.node, 1 - event.node, 1.0, event.time, type);
     }
   });
-  engine.ScheduleAt(0, 0.0, ping_type, 3);
+  engine.MustScheduleAt(0, 0.0, ping_type, 3);
   Result<EngineStats> stats = engine.Run();
   ASSERT_TRUE(stats.ok());
   ASSERT_EQ(arrivals.size(), 1u);
@@ -142,11 +142,11 @@ TEST(EventEngineTest, NoCommModeRunsEverythingInOneWindow) {
   const int type = engine.AddHandler([&](const Event& event) {
     ++executed;
     if (event.a > 0) {
-      engine.ScheduleAt(event.node, event.time + 1.0, event.type, event.a - 1);
+      engine.MustScheduleAt(event.node, event.time + 1.0, event.type, event.a - 1);
     }
   });
   for (int node = 0; node < 3; ++node) {
-    engine.ScheduleAt(node, 0.0, type, 2);
+    engine.MustScheduleAt(node, 0.0, type, 2);
   }
   Result<EngineStats> stats = engine.Run();
   ASSERT_TRUE(stats.ok());
@@ -162,9 +162,9 @@ TEST(EventEngineTest, MaxEventsGuardTurnsRunawayChainIntoError) {
   Engine engine(1, options);
   int type = -1;
   type = engine.AddHandler([&](const Event& event) {
-    engine.ScheduleAt(0, event.time + 1.0, type);
+    engine.MustScheduleAt(0, event.time + 1.0, type);
   });
-  engine.ScheduleAt(0, 0.0, type);
+  engine.MustScheduleAt(0, 0.0, type);
   Result<EngineStats> stats = engine.Run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
@@ -179,7 +179,7 @@ TEST(EventEngineTest, MaxEventsGuardTripsInWindowedMode) {
   type = engine.AddHandler([&](const Event& event) {
     engine.Send(event.node, 1 - event.node, 0.5, event.time, type);
   });
-  engine.ScheduleAt(0, 0.0, type);
+  engine.MustScheduleAt(0, 0.0, type);
   Result<EngineStats> stats = engine.Run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
@@ -194,9 +194,9 @@ TEST(EventEngineTest, MaxEventsGuardTripsOnSameWindowChain) {
   Engine engine(1, options);
   int type = -1;
   type = engine.AddHandler([&](const Event& event) {
-    engine.ScheduleAt(0, event.time + 1.0, type);
+    engine.MustScheduleAt(0, event.time + 1.0, type);
   });
-  engine.ScheduleAt(0, 0.0, type);
+  engine.MustScheduleAt(0, 0.0, type);
   Result<EngineStats> stats = engine.Run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
@@ -208,8 +208,8 @@ TEST(EventEngineTest, TimeHorizonGuardStopsLateEvents) {
   Engine engine(1, options);
   int fired = 0;
   const int type = engine.AddHandler([&](const Event&) { ++fired; });
-  engine.ScheduleAt(0, 5.0, type);
-  engine.ScheduleAt(0, 50.0, type);
+  engine.MustScheduleAt(0, 5.0, type);
+  engine.MustScheduleAt(0, 50.0, type);
   Result<EngineStats> stats = engine.Run();
   ASSERT_FALSE(stats.ok());
   EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
@@ -223,11 +223,43 @@ TEST(EventEngineTest, GuardsLeaveCompletingRunsUntouched) {
   Engine engine(1, options);
   const int type = engine.AddHandler([](const Event&) {});
   for (int i = 0; i < 5; ++i) {
-    engine.ScheduleAt(0, static_cast<double>(i), type);
+    engine.MustScheduleAt(0, static_cast<double>(i), type);
   }
   Result<EngineStats> stats = engine.Run();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats.value().events_executed, 5);
+}
+
+TEST(EventEngineTest, GuardErrorsReportProgressCounters) {
+  EngineOptions options;
+  options.max_events = 7;
+  Engine engine(1, options);
+  int type = -1;
+  type = engine.AddHandler([&](const Event& event) {
+    engine.MustScheduleAt(0, event.time + 1.0, type);
+  });
+  engine.MustScheduleAt(0, 0.0, type);
+  Result<EngineStats> stats = engine.Run();
+  ASSERT_FALSE(stats.ok());
+  // The guard message must say how far the run got before tripping, so a
+  // failed capacity run is diagnosable without a rerun.
+  EXPECT_NE(stats.status().message().find("7 events executed"),
+            std::string::npos);
+  EXPECT_NE(stats.status().message().find("sim time reached"),
+            std::string::npos);
+}
+
+TEST(EventEngineTest, ScheduleAtOutOfRangeNodeIsInvalidArgument) {
+  Engine engine(4, EngineOptions{});
+  const int type = engine.AddHandler([](const Event&) {});
+  Status high = engine.ScheduleAt(4, 0.0, type);
+  EXPECT_EQ(high.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(high.message().find("4"), std::string::npos);
+  EXPECT_EQ(engine.ScheduleAt(-1, 0.0, type).code(),
+            StatusCode::kInvalidArgument);
+  // In-range scheduling is unaffected.
+  EXPECT_TRUE(engine.ScheduleAt(3, 0.0, type).ok());
+  ASSERT_TRUE(engine.Run().ok());
 }
 
 TEST(EventEngineTest, ShardedRunRejectsSequentialMode) {

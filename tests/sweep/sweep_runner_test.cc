@@ -153,7 +153,8 @@ TEST(SweepRunnerTest, CsvHasHeaderRowPerCellAndMapeOnlyForSimCells) {
   EXPECT_EQ(csv.substr(0, csv.find('\n')),
             "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,"
             "first_local_peak,peak_speedup,peak_efficiency,scalable,"
-            "q1_nodes,q2_nodes,mape_pct,measured_mape_pct");
+            "q1_nodes,q2_nodes,mape_pct,measured_mape_pct,availability,"
+            "expected_slowdown");
   size_t rows = 0;
   for (char c : csv) rows += (c == '\n');
   EXPECT_EQ(rows, 13u);  // header + 12 cells
