@@ -28,7 +28,7 @@ if(num_lines LESS 2)
                       "got ${num_lines} line(s)")
 endif()
 list(GET csv_lines 0 header)
-if(NOT header STREQUAL "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,first_local_peak,peak_speedup,peak_efficiency,scalable,q1_nodes,q2_nodes,mape_pct,measured_mape_pct,availability,expected_slowdown")
+if(NOT header STREQUAL "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,first_local_peak,peak_speedup,peak_efficiency,scalable,q1_nodes,q2_nodes,mape_pct,measured_mape_pct,availability,expected_slowdown,serving_utilization,serving_quantile_latency_s,q3_replicas,q3_max_qps")
   message(FATAL_ERROR "unexpected CSV header in ${CSV}: ${header}")
 endif()
 set(found_ok_row FALSE)

@@ -1,5 +1,6 @@
 #include "api/analysis.h"
 
+#include <cmath>
 #include <functional>
 #include <map>
 #include <memory>
@@ -263,6 +264,59 @@ Result<AnalysisReport> Analysis::Run(const Scenario& scenario,
     }
   }
 
+  if (scenario.serving_aware()) {
+    const serve::ServingSpec& spec = scenario.serving();
+    // A spec whose offered load saturates the pool fails here with the
+    // Erlang-C "cannot keep up" error — saturation is an explicit answer,
+    // not a silently infinite latency.
+    DMLSCALE_ASSIGN_OR_RETURN(serve::ServingEstimate estimate,
+                              serve::AnalyzeServing(spec));
+    report.serving = estimate;
+    report.serving_quantile = spec.quantile;
+    core::ServingLatencyFn latency_fn = [&spec](int replicas, double qps) {
+      return serve::AnalyticQuantileLatency(spec, replicas, qps);
+    };
+    if (spec.target_qps > 0.0) {
+      report.serving_replicas_answer =
+          ToAnswer(core::CapacityPlanner::ReplicasForQps(
+              latency_fn, spec.target_qps, spec.target_latency_s,
+              spec.max_replicas));
+    }
+    if (spec.target_latency_s > 0.0) {
+      Result<double> rate = core::CapacityPlanner::MaxSustainableQps(
+          latency_fn, spec.replicas, spec.target_latency_s,
+          serve::SaturationQps(spec, spec.replicas));
+      ServingRateAnswer answer;
+      if (rate.ok()) {
+        answer.achievable = true;
+        answer.qps = rate.value();
+      } else {
+        answer.note = rate.status().message();
+      }
+      report.serving_max_qps_answer = answer;
+    }
+    if (options.simulate) {
+      serve::ServingSimConfig sim_config;
+      sim_config.spec = spec;
+      sim_config.num_requests = options.serving_sim_requests;
+      sim_config.warmup_requests = options.serving_sim_warmup;
+      sim_config.seed = options.sim_seed;
+      DMLSCALE_ASSIGN_OR_RETURN(serve::ServingSimStats sim_stats,
+                                serve::SimulateServing(sim_config));
+      if (sim_stats.mean_latency_s > 0.0) {
+        // Apples to apples: the DES prices a dispatch + response wire hop
+        // on the miss path that the closed form does not, so add the round
+        // trip (weighted by the miss rate) to the analytic side.
+        double analytic_mean = estimate.mean_latency_s +
+                               2.0 * sim_config.wire_s * spec.cache.MissRate();
+        report.serving_model_vs_sim_pct =
+            100.0 * std::abs(analytic_mean - sim_stats.mean_latency_s) /
+            sim_stats.mean_latency_s;
+      }
+      report.serving_sim = std::move(sim_stats);
+    }
+  }
+
   if (options.simulate) {
     DMLSCALE_ASSIGN_OR_RETURN(
         core::SpeedupCurve simulated,
@@ -377,6 +431,52 @@ void PrintReport(const AnalysisReport& report, std::ostream& os) {
        << (q3.achievable ? std::to_string(q3.nodes)
                          : "not achievable — " + q3.note)
        << "\n";
+  }
+  // Serving lines only for serving-aware scenarios: serving-free reports
+  // must stay byte-identical to the pre-serving-layer output.
+  if (report.serving.has_value()) {
+    const serve::ServingEstimate& serving = *report.serving;
+    std::string quantile_label = "p";
+    quantile_label +=
+        FormatDouble(report.serving_quantile.value_or(0.99) * 100.0, 4);
+    os << "Serving: " << serving.queue.servers << " replicas at "
+       << FormatDouble(serving.offered_qps, 4) << " offered qps; utilization "
+       << FormatDouble(serving.utilization, 4) << "; mean latency "
+       << FormatDouble(serving.mean_latency_s, 4) << " s; " << quantile_label
+       << " latency " << FormatDouble(serving.quantile_latency_s, 4) << " s\n";
+    if (serving.expected_batch > 1.0) {
+      os << "Serving batching: expected batch "
+         << FormatDouble(serving.expected_batch, 4) << "; added delay "
+         << FormatDouble(serving.batch_delay_s, 4) << " s\n";
+    }
+    if (serving.hit_rate > 0.0) {
+      os << "Serving cache: hit rate " << FormatDouble(serving.hit_rate, 4)
+         << "; backend load " << FormatDouble(serving.backend_qps, 4)
+         << " qps\n";
+    }
+    if (report.serving_sim.has_value() &&
+        report.serving_model_vs_sim_pct.has_value()) {
+      os << "Serving analytic vs DES mean latency: "
+         << FormatDouble(*report.serving_model_vs_sim_pct, 3) << "% (DES "
+         << quantile_label << " "
+         << FormatDouble(report.serving_sim->latency.Percentile(
+                report.serving_quantile.value_or(0.99)), 4)
+         << " s)\n";
+    }
+    if (report.serving_replicas_answer.has_value()) {
+      const PlannerAnswer& answer = *report.serving_replicas_answer;
+      os << "Q3 (replicas for the target qps within the latency SLO): "
+         << (answer.achievable ? std::to_string(answer.nodes)
+                               : "not achievable — " + answer.note)
+         << "\n";
+    }
+    if (report.serving_max_qps_answer.has_value()) {
+      const ServingRateAnswer& answer = *report.serving_max_qps_answer;
+      os << "Q3 (max qps within the latency SLO at the declared replicas): "
+         << (answer.achievable ? FormatDouble(answer.qps, 4)
+                               : "not achievable — " + answer.note)
+         << "\n";
+    }
   }
 }
 

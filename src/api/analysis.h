@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "core/calibration.h"
 #include "core/speedup.h"
+#include "serve/cluster.h"
+#include "serve/serving_sim.h"
 #include "sim/backend.h"
 #include "sim/overhead.h"
 
@@ -46,7 +48,15 @@ struct AnalysisOptions {
   double fault_target_seconds = 0.0;
 
   /// Cross-check the analytic curve against the discrete-event simulator.
+  /// For serving-aware scenarios this also drives the serving DES
+  /// (serve::SimulateServing) and reports the analytic-vs-simulated mean
+  /// latency deviation.
   bool simulate = false;
+  /// Measured requests per serving DES run, after `serving_sim_warmup`
+  /// discarded ones (only read when simulate is set on a serving-aware
+  /// scenario).
+  int64_t serving_sim_requests = 20000;
+  int64_t serving_sim_warmup = 2000;
   /// Framework overheads injected into the simulation; None() makes the
   /// simulated curve coincide with the analytic one.
   sim::OverheadModel overhead;
@@ -91,6 +101,15 @@ struct AnalysisOptions {
 struct PlannerAnswer {
   bool achievable = false;
   int nodes = 0;
+  std::string note;
+};
+
+/// A rate-valued planning answer (the serving "how much load fits"
+/// direction of Q3); `achievable` is false when even a near-zero rate
+/// misses the latency target (`note` carries the reason).
+struct ServingRateAnswer {
+  bool achievable = false;
+  double qps = 0.0;
   std::string note;
 };
 
@@ -156,6 +175,27 @@ struct AnalysisReport {
   std::optional<double> optimal_checkpoint_interval_s;
   /// Present when options.fault_target_seconds was requested (Q3).
   std::optional<PlannerAnswer> fault_target_answer;
+
+  /// Present when the scenario carries a serving cluster
+  /// (Scenario::serving_aware()); serving-free reports stay byte-identical.
+  /// The closed-form pipeline's full answer (Erlang-C over the replica
+  /// pool, batching and cache blended in).
+  std::optional<serve::ServingEstimate> serving;
+  /// The spec's planning quantile, echoed for rendering ("p99").
+  std::optional<double> serving_quantile;
+  /// Present when the spec asked the replica-planning question
+  /// (target_qps > 0 with a latency SLO): the serving Q3, answered
+  /// analytically; `nodes` carries REPLICAS.
+  std::optional<PlannerAnswer> serving_replicas_answer;
+  /// Present when the spec carries a latency SLO (target_latency_s > 0):
+  /// the highest offered rate the declared replica count sustains within
+  /// it — the other direction of the serving Q3.
+  std::optional<ServingRateAnswer> serving_max_qps_answer;
+  /// Present when options.simulate was set on a serving-aware scenario:
+  /// the serving DES run and the percent deviation of the analytic mean
+  /// latency from the simulated one.
+  std::optional<serve::ServingSimStats> serving_sim;
+  std::optional<double> serving_model_vs_sim_pct;
 };
 
 /// The unified front door: speedup analysis, capacity planning, and the

@@ -13,6 +13,7 @@
 #include "api/presets.h"      // IWYU pragma: export
 #include "api/registry.h"     // IWYU pragma: export
 #include "api/scenario.h"     // IWYU pragma: export
+#include "api/serving.h"      // IWYU pragma: export
 #include "api/workload.h"     // IWYU pragma: export
 
 #endif  // DMLSCALE_API_API_H_

@@ -7,6 +7,7 @@
 
 #include "api/faults.h"
 #include "api/registry.h"
+#include "api/serving.h"
 #include "common/check.h"
 #include "core/computation_model.h"
 
@@ -100,6 +101,21 @@ std::string Scenario::CacheKey() const {
     blob += ';';
   }
   blob += '|';
+  // Serving keys: the full serving decoration is part of the model — two
+  // cells differing only in `hit_rate` price different latencies, so they
+  // must not share a memo row.
+  for (const auto& [key, value] : serving_params_.values()) {
+    blob += key;
+    blob += '=';
+    AppendExact(&blob, value);
+  }
+  for (const auto& [key, value] : serving_params_.strings()) {
+    blob += key;
+    blob += '=';
+    blob += value;
+    blob += ';';
+  }
+  blob += '|';
   AppendExact(&blob, cluster_.node.EffectiveFlops());
   AppendExact(&blob, cluster_.link.bandwidth_bps);
   AppendExact(&blob, cluster_.link.latency_s);
@@ -183,6 +199,11 @@ Scenario::Builder& Scenario::Builder::Comm(std::string model,
 
 Scenario::Builder& Scenario::Builder::Faults(ModelParams params) {
   fault_params_ = std::move(params);
+  return *this;
+}
+
+Scenario::Builder& Scenario::Builder::Serving(ModelParams params) {
+  serving_params_ = std::move(params);
   return *this;
 }
 
@@ -278,6 +299,11 @@ Result<Scenario> Scenario::Builder::Build() const {
   DMLSCALE_ASSIGN_OR_RETURN(core::FaultSpec faults,
                             ResolveFaultSpec(fault_params_));
 
+  DMLSCALE_ASSIGN_OR_RETURN(serve::ServingSpec serving,
+                            ResolveServingSpec(serving_params_, link));
+  const bool serving_aware =
+      !serving_params_.values().empty() || !serving_params_.strings().empty();
+
   Scenario scenario;
   scenario.name_ = name_;
   scenario.cluster_ = core::ClusterSpec{.node = *node_,
@@ -293,6 +319,9 @@ Result<Scenario> Scenario::Builder::Build() const {
   scenario.comm_params_ = std::move(comm_params);
   scenario.faults_ = faults;
   scenario.fault_params_ = fault_params_;
+  scenario.serving_ = serving;
+  scenario.serving_params_ = serving_params_;
+  scenario.serving_aware_ = serving_aware;
   scenario.compute_coefficient_ = compute_coefficient_;
   scenario.comm_coefficient_ = comm_coefficient_;
   return scenario;

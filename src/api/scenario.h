@@ -13,6 +13,7 @@
 #include "core/hardware.h"
 #include "core/speedup.h"
 #include "core/superstep.h"
+#include "serve/cluster.h"
 
 namespace dmlscale::api {
 
@@ -104,6 +105,17 @@ class Scenario final : public core::AlgorithmModel {
   /// fault-free curve.
   bool fault_aware() const { return faults_.Enabled(); }
 
+  /// The resolved serving cluster (the default spec unless
+  /// Builder::Serving was given).
+  const serve::ServingSpec& serving() const { return serving_; }
+  /// The parameter bag serving() was resolved from (empty when
+  /// serving-free).
+  const ModelParams& serving_params() const { return serving_params_; }
+  /// True when the scenario carries a serving cluster — analysis then
+  /// answers the inference-side questions (latency quantiles, Q3 replica
+  /// planning) next to the training-side curve.
+  bool serving_aware() const { return serving_aware_; }
+
   /// A digest uniquely identifying the scenario's MODEL — name, hardware,
   /// model names, every parameter (numeric and string, so topology/queue
   /// selections count), supersteps, coefficients. Memoization keys MUST use
@@ -130,6 +142,9 @@ class Scenario final : public core::AlgorithmModel {
   ModelParams comm_params_;
   core::FaultSpec faults_;
   ModelParams fault_params_;
+  serve::ServingSpec serving_;
+  ModelParams serving_params_;
+  bool serving_aware_ = false;
   double compute_coefficient_ = 1.0;
   double comm_coefficient_ = 1.0;
 };
@@ -169,6 +184,13 @@ class Scenario::Builder {
   /// fault-free.
   Builder& Faults(ModelParams params);
 
+  /// Attaches an inference-serving cluster, resolved through
+  /// api::ResolveServingSpec (keys: arrivals, qps, batch_max, batch_delay,
+  /// cache, hit_rate, replicas, service_per_item, ...). The scenario's
+  /// link prices the model-parallel rejoin collective. Build() validates
+  /// the bag eagerly; the empty bag keeps the scenario serving-free.
+  Builder& Serving(ModelParams params);
+
   /// Supersteps per iteration (>= 1); the iteration time is their sum.
   Builder& Supersteps(int count);
 
@@ -202,6 +224,7 @@ class Scenario::Builder {
   ModelParams comm_params_;
 
   ModelParams fault_params_;
+  ModelParams serving_params_;
 
   double compute_coefficient_ = 1.0;
   double comm_coefficient_ = 1.0;

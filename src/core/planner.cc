@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "common/string_util.h"
 
 namespace dmlscale::core {
 
@@ -93,6 +94,86 @@ Result<double> CapacityPlanner::OptimalCheckpointInterval(
   }
   return YoungDalyInterval(faults.checkpoint_cost_s,
                            faults.mtbf_seconds / static_cast<double>(nodes));
+}
+
+Result<int> CapacityPlanner::ReplicasForQps(const ServingLatencyFn& latency_fn,
+                                            double qps,
+                                            double target_latency_s,
+                                            int max_replicas) {
+  DMLSCALE_CHECK(latency_fn != nullptr);
+  if (qps <= 0.0) return Status::InvalidArgument("qps must be > 0");
+  if (target_latency_s <= 0.0) {
+    return Status::InvalidArgument("target latency must be > 0");
+  }
+  if (max_replicas < 1) {
+    return Status::InvalidArgument("max_replicas must be >= 1");
+  }
+  // A point is feasible when the fn returns a value <= target; both
+  // "cannot keep up" errors and missed targets count as infeasible.
+  auto feasible = [&](int r) {
+    Result<double> latency = latency_fn(r, qps);
+    return latency.ok() && latency.value() <= target_latency_s;
+  };
+  // Double until feasible (latency is non-increasing in replicas), then
+  // binary-search the boundary.
+  int hi = 1;
+  while (hi < max_replicas && !feasible(hi)) {
+    hi = hi > max_replicas / 2 ? max_replicas : hi * 2;
+  }
+  if (!feasible(hi)) {
+    return Status::NotFound(
+        "no replica count within " + std::to_string(max_replicas) +
+        " serves " + FormatDouble(qps, 4) + " qps at " +
+        FormatDouble(target_latency_s, 4) + " s; raise max_replicas, relax "
+        "the latency target, or shed load");
+  }
+  int lo = hi / 2;  // lo is infeasible (or 0), hi is feasible
+  while (hi - lo > 1) {
+    int mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+Result<double> CapacityPlanner::MaxSustainableQps(
+    const ServingLatencyFn& latency_fn, int replicas, double target_latency_s,
+    double qps_cap) {
+  DMLSCALE_CHECK(latency_fn != nullptr);
+  if (replicas < 1) return Status::InvalidArgument("replicas must be >= 1");
+  if (target_latency_s <= 0.0) {
+    return Status::InvalidArgument("target latency must be > 0");
+  }
+  if (qps_cap <= 0.0) return Status::InvalidArgument("qps_cap must be > 0");
+  auto feasible = [&](double qps) {
+    Result<double> latency = latency_fn(replicas, qps);
+    return latency.ok() && latency.value() <= target_latency_s;
+  };
+  if (feasible(qps_cap)) return qps_cap;
+  // Latency at a near-idle trickle is essentially the bare service time; if
+  // even that misses the target no rate can meet it.
+  double lo = qps_cap * 1e-9;
+  if (!feasible(lo)) {
+    return Status::NotFound(
+        "even near-zero load misses the " + FormatDouble(target_latency_s, 4) +
+        " s target at " + std::to_string(replicas) +
+        " replicas; the bare service time is too slow — use a faster model "
+        "or relax the target");
+  }
+  double hi = qps_cap;
+  // Fixed iteration count: deterministic for any backing latency_fn.
+  for (int i = 0; i < 64; ++i) {
+    double mid = 0.5 * (lo + hi);
+    if (feasible(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 int CapacityPlanner::OptimalNodes() const {

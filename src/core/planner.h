@@ -1,11 +1,22 @@
 #ifndef DMLSCALE_CORE_PLANNER_H_
 #define DMLSCALE_CORE_PLANNER_H_
 
+#include <functional>
+
 #include "common/status.h"
 #include "core/faults.h"
 #include "core/scaling.h"
 
 namespace dmlscale::core {
+
+/// Latency (seconds, at the caller's planning quantile — typically p99) of
+/// `replicas` replicas serving `qps` requests/s. Returns InvalidArgument
+/// when that replica count cannot keep up at that rate (utilization >= 1),
+/// which the serving planners treat as "infeasible point", not a hard
+/// error. Backed analytically (Erlang-C over serve::AnalyzeServing) or by
+/// the serving DES — the planner does not care which.
+using ServingLatencyFn =
+    std::function<Result<double>(int replicas, double qps)>;
 
 /// Answers the two practitioner questions from the paper's introduction:
 ///
@@ -54,6 +65,28 @@ class CapacityPlanner {
   /// spec enables crashes and prices checkpoints (checkpoint_cost_s > 0).
   [[nodiscard]] Result<double> OptimalCheckpointInterval(
       int nodes, const FaultSpec& faults) const;
+
+  /// Serving Question 3a: the smallest replica count in [1, max_replicas]
+  /// whose planning-quantile latency at `qps` is <= `target_latency_s`.
+  ///
+  /// Latency is non-increasing in the replica count at fixed qps (more
+  /// servers only shed load), so the search is a doubling scan to the first
+  /// feasible count followed by a binary search — O(log max_replicas)
+  /// evaluations, cheap enough to back with the DES, not just closed forms.
+  /// NotFound when even max_replicas misses the target.
+  [[nodiscard]] static Result<int> ReplicasForQps(
+      const ServingLatencyFn& latency_fn, double qps, double target_latency_s,
+      int max_replicas);
+
+  /// Serving Question 3b: the largest sustainable rate in (0, qps_cap] at
+  /// which `replicas` replicas still meet `target_latency_s`, by
+  /// fixed-iteration bisection (deterministic; latency is non-decreasing in
+  /// qps at a fixed replica count). Returns qps_cap itself when the whole
+  /// range is feasible; NotFound when even a near-idle trickle misses the
+  /// target (the service time alone exceeds it).
+  [[nodiscard]] static Result<double> MaxSustainableQps(
+      const ServingLatencyFn& latency_fn, int replicas,
+      double target_latency_s, double qps_cap);
 
  private:
   ScalableTimeFn time_fn_;

@@ -3,6 +3,8 @@
 
 #include <string>
 
+#include "common/status.h"
+
 namespace dmlscale::core {
 
 /// Converts a shared link's offered load into the expected time a message
@@ -68,6 +70,83 @@ class Mm1QueueModel final : public QueueModel {
 
  private:
   double background_;
+};
+
+// ---------------------------------------------------------------------------
+// M/M/k (Erlang-C) closed forms — the serving layer's analytic backbone.
+//
+// A replica pool is modeled as k identical exponential servers fed by one
+// Poisson stream: offered load a = lambda / mu, utilization rho = a / k.
+// All forms require rho < 1; at rho >= 1 the queue grows without bound and
+// the functions return InvalidArgument ("cannot keep up") rather than a
+// number, so capacity planners see saturation as an explicit error.
+// ---------------------------------------------------------------------------
+
+/// Erlang-B blocking probability B(k, a) via the standard stable recurrence
+///   B(0, a) = 1,  B(j, a) = a B(j-1, a) / (j + a B(j-1, a)).
+/// Defined for any a >= 0 (no stability requirement; B is a loss-system
+/// quantity). `servers` >= 1.
+double ErlangB(int servers, double offered_load);
+
+/// Erlang-C waiting probability C(k, a): the probability an arrival finds
+/// all k servers busy, from B via C = k B / (k - a (1 - B)).
+/// For k = 1 this reduces to C(1, a) = a exactly (returned as such, so
+/// golden tests can pin it with EXPECT_EQ). InvalidArgument when a >= k.
+[[nodiscard]] Result<double> ErlangC(int servers, double offered_load);
+
+/// All steady-state M/M/k answers for one (k, lambda, mu) point.
+struct MmkMetrics {
+  int servers = 1;
+  double arrival_rate = 0.0;      ///< lambda, requests/s.
+  double service_rate = 0.0;      ///< mu, requests/s per server.
+  double utilization = 0.0;       ///< rho = lambda / (k mu), in [0, 1).
+  double wait_probability = 0.0;  ///< Erlang-C C(k, a).
+  double mean_wait_s = 0.0;       ///< Wq = C / (k mu - lambda).
+  double mean_sojourn_s = 0.0;    ///< W = Wq + 1/mu.
+  double mean_queue_length = 0.0; ///< Lq = lambda Wq (Little).
+
+  /// p-quantile of the waiting time: 0 for p <= 1 - C (the arrival does not
+  /// wait), else -ln((1-p)/C) / (k mu - lambda). Requires p in [0, 1).
+  double WaitQuantile(double p) const;
+
+  /// P(T > t) for the total sojourn time T = wait + service:
+  ///   (1-C) e^{-mu t} + C (mu e^{-r t} - r e^{-mu t}) / (mu - r)
+  /// with r = k mu - lambda (Erlang(2)-style limit when mu == r). For k = 1
+  /// this collapses to e^{-(mu - lambda) t}.
+  double SojournTail(double t) const;
+
+  /// p-quantile of the sojourn time, by deterministic bisection on
+  /// SojournTail (fixed iteration count, no tolerance knob). p in [0, 1).
+  double SojournQuantile(double p) const;
+};
+
+/// Computes the steady-state metrics. InvalidArgument with an actionable
+/// message when lambda >= k mu (the pool cannot keep up) or any rate is
+/// not positive.
+[[nodiscard]] Result<MmkMetrics> AnalyzeMmk(int servers, double arrival_rate,
+                                            double service_rate);
+
+/// Affine batched-inference latency: Latency(b) = fixed + b * per_item.
+/// `fixed_s` prices the per-launch overhead (weight streaming, kernel
+/// launch); `per_item_s` the marginal example. Fitted from the real
+/// GEMM-backed nn forward pass by api::CalibrateBatchService.
+struct BatchServiceModel {
+  double fixed_s = 0.0;
+  double per_item_s = 0.0;
+
+  [[nodiscard]] Status Validate() const;
+
+  /// Wall time of one batch of `batch` requests, seconds. `batch` >= 1.
+  double Latency(int batch) const;
+
+  /// Steady-state throughput of back-to-back batches, requests/s.
+  double Throughput(int batch) const;
+
+  /// The batch size maximizing Throughput under a latency budget: the
+  /// largest b in [1, max_batch] with Latency(b) <= budget_s, or
+  /// InvalidArgument when even b = 1 misses the budget.
+  [[nodiscard]] Result<int> LargestBatchWithin(double budget_s,
+                                               int max_batch) const;
 };
 
 }  // namespace dmlscale::core

@@ -1,0 +1,190 @@
+#include "serve/arrivals.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace dmlscale::serve {
+
+const char* ToString(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+    case ArrivalKind::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+Status ArrivalSpec::Validate() const {
+  if (kind != ArrivalKind::kTrace && rate_qps <= 0.0) {
+    return Status::InvalidArgument(
+        "arrival rate must be > 0 qps (set `qps`)");
+  }
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      break;
+    case ArrivalKind::kDiurnal:
+      if (diurnal_period_s <= 0.0) {
+        return Status::InvalidArgument("diurnal period must be > 0 s");
+      }
+      if (diurnal_peak_to_trough < 1.0) {
+        return Status::InvalidArgument(
+            "diurnal peak-to-trough ratio must be >= 1");
+      }
+      break;
+    case ArrivalKind::kMmpp:
+      if (burst_rate_multiplier <= 1.0) {
+        return Status::InvalidArgument(
+            "MMPP burst rate multiplier must be > 1 (otherwise use poisson)");
+      }
+      if (burst_fraction <= 0.0 || burst_fraction >= 1.0) {
+        return Status::InvalidArgument(
+            "MMPP burst fraction must be in (0, 1)");
+      }
+      if (burst_mean_duration_s <= 0.0) {
+        return Status::InvalidArgument(
+            "MMPP burst mean duration must be > 0 s");
+      }
+      break;
+    case ArrivalKind::kTrace: {
+      if (trace_gaps_s.empty()) {
+        return Status::InvalidArgument(
+            "trace arrivals need at least one inter-arrival gap");
+      }
+      double total = 0.0;
+      for (double gap : trace_gaps_s) {
+        if (gap < 0.0) {
+          return Status::InvalidArgument("trace gaps must be >= 0 s");
+        }
+        total += gap;
+      }
+      if (total <= 0.0) {
+        return Status::InvalidArgument(
+            "trace gaps must include at least one positive gap");
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+double ArrivalSpec::MeanRate() const {
+  if (kind == ArrivalKind::kTrace) {
+    double total = 0.0;
+    for (double gap : trace_gaps_s) total += gap;
+    return static_cast<double>(trace_gaps_s.size()) / total;
+  }
+  return rate_qps;
+}
+
+double ArrivalSpec::PeakRate() const {
+  switch (kind) {
+    case ArrivalKind::kPoisson:
+      return rate_qps;
+    case ArrivalKind::kDiurnal: {
+      double amplitude =
+          (diurnal_peak_to_trough - 1.0) / (diurnal_peak_to_trough + 1.0);
+      return rate_qps * (1.0 + amplitude);
+    }
+    case ArrivalKind::kMmpp: {
+      // Quiet rate scaled so the stationary mean is rate_qps; the burst
+      // state runs at multiplier times that.
+      double quiet = rate_qps / (1.0 - burst_fraction +
+                                 burst_rate_multiplier * burst_fraction);
+      return quiet * burst_rate_multiplier;
+    }
+    case ArrivalKind::kTrace: {
+      double min_gap = trace_gaps_s[0];
+      for (double gap : trace_gaps_s) min_gap = std::min(min_gap, gap);
+      // A zero gap means back-to-back arrivals: the instantaneous rate is
+      // unbounded, so report the mean as the best finite summary.
+      return min_gap > 0.0 ? 1.0 / min_gap : MeanRate();
+    }
+  }
+  return rate_qps;
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalSpec& spec, uint64_t seed,
+                               uint64_t stream)
+    : spec_(spec), rng_(DeriveSeed(seed, stream), stream) {
+  DMLSCALE_CHECK(spec_.Validate().ok());
+  if (spec_.kind == ArrivalKind::kMmpp) {
+    quiet_rate_ =
+        spec_.rate_qps / (1.0 - spec_.burst_fraction +
+                          spec_.burst_rate_multiplier * spec_.burst_fraction);
+    burst_rate_ = quiet_rate_ * spec_.burst_rate_multiplier;
+    // Stationary dwell balance: f = d_b / (d_b + d_q).
+    quiet_mean_dwell_s_ = spec_.burst_mean_duration_s *
+                          (1.0 - spec_.burst_fraction) / spec_.burst_fraction;
+    // Start in the stationary state mix so short runs are unbiased.
+    in_burst_ = rng_.NextBernoulli(spec_.burst_fraction);
+    next_switch_s_ = ExpGap(
+        1.0 / (in_burst_ ? spec_.burst_mean_duration_s : quiet_mean_dwell_s_));
+  }
+}
+
+double ArrivalProcess::ExpGap(double rate) {
+  // 1 - U in (0, 1]: log() never sees 0.
+  return -std::log(1.0 - rng_.NextDouble()) / rate;
+}
+
+double ArrivalProcess::NextGap() {
+  switch (spec_.kind) {
+    case ArrivalKind::kPoisson:
+      return ExpGap(spec_.rate_qps);
+    case ArrivalKind::kDiurnal: {
+      // Lewis–Shedler thinning at the peak-rate envelope.
+      double peak = spec_.PeakRate();
+      double amplitude = (spec_.diurnal_peak_to_trough - 1.0) /
+                         (spec_.diurnal_peak_to_trough + 1.0);
+      double gap = 0.0;
+      for (;;) {
+        gap += ExpGap(peak);
+        double t = now_ + gap;
+        double rate =
+            spec_.rate_qps *
+            (1.0 + amplitude * std::sin(2.0 * std::numbers::pi * t /
+                                        spec_.diurnal_period_s));
+        if (rng_.NextDouble() * peak < rate) return gap;
+      }
+    }
+    case ArrivalKind::kMmpp: {
+      double gap = 0.0;
+      for (;;) {
+        double rate = in_burst_ ? burst_rate_ : quiet_rate_;
+        double candidate = ExpGap(rate);
+        if (gap + candidate < next_switch_s_ - now_) return gap + candidate;
+        // The candidate crosses the modulation switch: advance to the
+        // switch, toggle state, and redraw — valid because the exponential
+        // clock is memoryless.
+        gap = next_switch_s_ - now_;
+        in_burst_ = !in_burst_;
+        next_switch_s_ += ExpGap(1.0 / (in_burst_ ? spec_.burst_mean_duration_s
+                                                  : quiet_mean_dwell_s_));
+        // Note: `now_` stays the last-arrival time; `gap` carries the
+        // partial progress toward the next arrival.
+      }
+    }
+    case ArrivalKind::kTrace: {
+      double gap = spec_.trace_gaps_s[trace_index_];
+      trace_index_ = (trace_index_ + 1) % spec_.trace_gaps_s.size();
+      return gap;
+    }
+  }
+  DMLSCALE_CHECK(false);
+  return 0.0;
+}
+
+double ArrivalProcess::NextArrivalSeconds() {
+  now_ += NextGap();
+  return now_;
+}
+
+}  // namespace dmlscale::serve

@@ -1,0 +1,54 @@
+#ifndef DMLSCALE_SERVE_BATCHER_H_
+#define DMLSCALE_SERVE_BATCHER_H_
+
+#include "common/status.h"
+#include "core/queueing.h"
+
+namespace dmlscale::serve {
+
+/// The two-knob dynamic batching policy every production serving stack
+/// converges on: a batch closes when it reaches `max_batch` requests OR
+/// when its oldest request has waited `max_delay_s` — whichever comes
+/// first. max_batch = 1 (or max_delay_s = 0 with an idle server) degrades
+/// to request-at-a-time serving, the M/M/k assumption.
+struct BatcherSpec {
+  int max_batch = 1;
+  double max_delay_s = 0.0;
+
+  [[nodiscard]] Status Validate() const;
+
+  bool Batching() const { return max_batch > 1; }
+
+  /// Analytic expected batch size under Poisson arrivals at `rate_qps` to
+  /// ONE replica: during the delay window about rate * max_delay further
+  /// requests join the opener, capped by the size knob —
+  /// min(max_batch, 1 + rate * max_delay). An approximation (the DES is
+  /// the ground truth); exact at max_batch = 1 or max_delay = 0.
+  double ExpectedBatch(double rate_qps) const;
+
+  /// Analytic mean extra queueing delay batching adds per request: the
+  /// opener waits for the batch to fill, later joiners less — on average
+  /// (b - 1) / (2 rate), capped at max_delay_s / 2. Zero when not batching.
+  double ExpectedDelay(double rate_qps) const;
+};
+
+/// The per-request service view the queueing layer needs: requests in a
+/// batch of b share one Latency(b) execution, so the effective per-request
+/// service time is Latency(b) / b and the replica behaves like an
+/// exponential server at rate b / Latency(b).
+struct BatchEstimate {
+  double batch = 1.0;            ///< expected batch size b (continuous)
+  double service_s = 0.0;        ///< effective per-request service time
+  double service_rate = 0.0;     ///< 1 / service_s
+  double added_delay_s = 0.0;    ///< mean batching delay per request
+};
+
+/// Combines the policy with a service model at one per-replica rate.
+/// `model` must have passed Validate().
+BatchEstimate EstimateBatching(const BatcherSpec& spec,
+                               const core::BatchServiceModel& model,
+                               double rate_qps);
+
+}  // namespace dmlscale::serve
+
+#endif  // DMLSCALE_SERVE_BATCHER_H_

@@ -1,0 +1,99 @@
+#ifndef DMLSCALE_SERVE_CLUSTER_H_
+#define DMLSCALE_SERVE_CLUSTER_H_
+
+#include "common/status.h"
+#include "core/queueing.h"
+#include "serve/arrivals.h"
+#include "serve/batcher.h"
+#include "serve/cache.h"
+#include "serve/replica.h"
+
+namespace dmlscale::serve {
+
+/// How the frontend picks a replica for each cache miss.
+enum class DispatchPolicy {
+  /// Fewest requests dispatched-but-not-yet-acknowledged (the standard
+  /// production LB policy). Approximates the M/M/k shared queue the
+  /// analytic pipeline assumes — the lag is only the response wire time —
+  /// so this is the default and the mode the Erlang-C cross-check runs in.
+  kLeastOutstanding,
+  /// Blind rotation. Splits the arrival stream into k independent queues
+  /// (an E_k/M/1 per replica): no pooling, so a request can wait at one
+  /// replica while another idles. Kept for studying exactly that penalty.
+  kRoundRobin,
+};
+
+const char* ToString(DispatchPolicy policy);
+
+/// The full declarative serving cluster: an arrival stream hitting a cache
+/// tier, misses load-balanced over `replicas` identical (optionally
+/// model-sharded) replicas, each running the two-knob dynamic batcher.
+/// This is the serving analogue of a training Scenario — pure data,
+/// analyzable in closed form (AnalyzeServing) and executable on the event
+/// engine (serving_sim.h), with the two answers cross-checked.
+struct ServingSpec {
+  ArrivalSpec arrivals;
+  BatcherSpec batcher;
+  ReplicaSpec replica;
+  CacheSpec cache;
+  /// Identical replicas behind the load balancer (>= 1).
+  int replicas = 1;
+  DispatchPolicy dispatch = DispatchPolicy::kLeastOutstanding;
+  /// Planning quantile for latency answers, in (0, 1); p99 by default.
+  double quantile = 0.99;
+  /// Q3 targets (read by the api layer's planners): a latency SLO and,
+  /// for ReplicasForQps, the rate to provision for. 0 = question not
+  /// asked.
+  double target_latency_s = 0.0;
+  double target_qps = 0.0;
+  /// Planner search bound for ReplicasForQps.
+  int max_replicas = 4096;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// Everything the analytic pipeline derives for one spec — the model side
+/// of the analytic-vs-DES cross-check.
+struct ServingEstimate {
+  double offered_qps = 0.0;       ///< arrival mean rate
+  double backend_qps = 0.0;       ///< after cache thinning: offered * miss
+  double per_replica_qps = 0.0;   ///< backend / replicas
+  double expected_batch = 1.0;    ///< mean dynamic batch size (continuous)
+  double batch_delay_s = 0.0;     ///< mean added batching delay
+  double service_s = 0.0;         ///< effective per-request service time
+  core::MmkMetrics queue;         ///< M/M/k over the replica pool
+  double utilization = 0.0;       ///< replica-pool utilization rho
+  double mean_latency_s = 0.0;    ///< cache-blended mean request latency
+  double quantile_latency_s = 0.0;///< cache-blended latency at spec.quantile
+
+  /// Cache-blended latency quantile at an arbitrary p in (0, 1): the
+  /// fastest hit_rate fraction of requests finish at the hit latency, so
+  /// for p <= hit_rate the answer IS the hit latency; above it, the
+  /// backend must deliver its own (p - h) / (1 - h) quantile.
+  double LatencyQuantile(double p) const;
+
+  double hit_rate = 0.0;
+  double hit_latency_s = 0.0;
+};
+
+/// The closed-form pipeline: thin the arrivals by the cache hit rate,
+/// estimate the dynamic batch at the per-replica rate, collapse the batch
+/// into an effective exponential server, and run Erlang-C over the replica
+/// pool. InvalidArgument ("cannot keep up") when the pool saturates.
+[[nodiscard]] Result<ServingEstimate> AnalyzeServing(const ServingSpec& spec);
+
+/// core::ServingLatencyFn adapter: the spec's quantile latency with
+/// `replicas` replicas at `qps` offered load (arrival shape and all other
+/// knobs from `spec`). This is the analytic backend of
+/// CapacityPlanner::{ReplicasForQps, MaxSustainableQps}.
+[[nodiscard]] Result<double> AnalyticQuantileLatency(const ServingSpec& spec,
+                                                     int replicas, double qps);
+
+/// A hard upper bound on the rate `replicas` replicas can ever sustain:
+/// per-item-limited throughput divided by the miss rate. Finite and
+/// feasible-to-bisect-under for MaxSustainableQps's qps_cap.
+double SaturationQps(const ServingSpec& spec, int replicas);
+
+}  // namespace dmlscale::serve
+
+#endif  // DMLSCALE_SERVE_CLUSTER_H_

@@ -1,0 +1,41 @@
+#ifndef DMLSCALE_SERVE_REPLICA_H_
+#define DMLSCALE_SERVE_REPLICA_H_
+
+#include "common/status.h"
+#include "core/hardware.h"
+#include "core/queueing.h"
+
+namespace dmlscale::serve {
+
+/// One model replica: the unit the load balancer dispatches whole requests
+/// to. A replica may internally shard the model across `shards` devices
+/// (model parallelism): every request fans out to all shards, each does
+/// 1/shards of the per-item work, and the partial activations rejoin
+/// through a tree collective over `rejoin_bits` on `link` — priced with
+/// the same core::TreeComm closed form the training layer uses, so serving
+/// and training charge identical prices for identical collectives.
+struct ReplicaSpec {
+  /// Model-parallel shards inside one replica (>= 1; 1 = no sharding).
+  int shards = 1;
+  /// Unsharded batch service model (fitted by api::CalibrateBatchService).
+  core::BatchServiceModel service;
+  /// Activation bits gathered across shards per batch (>= 0; only read
+  /// when shards > 1).
+  double rejoin_bits = 0.0;
+  /// Intra-replica interconnect for the rejoin collective.
+  core::LinkSpec link;
+
+  [[nodiscard]] Status Validate() const;
+
+  /// The batch service model the sharded replica actually exhibits:
+  /// per-item work divides by `shards`, the rejoin collective's tree time
+  /// over `shards` peers joins the fixed term. shards = 1 returns
+  /// `service` unchanged. Sharding therefore trades per-item speed for
+  /// fixed-cost growth — past the crossover, more shards SLOW a replica
+  /// down, which is exactly the tension the planner explores.
+  core::BatchServiceModel ShardedService() const;
+};
+
+}  // namespace dmlscale::serve
+
+#endif  // DMLSCALE_SERVE_REPLICA_H_

@@ -85,6 +85,24 @@ std::vector<ScenarioAxisPoint> ExpandFaultAxis(
   return expanded;
 }
 
+std::vector<ScenarioAxisPoint> ExpandServingAxis(
+    const ScenarioAxisPoint& base, const std::vector<ServingAxisPoint>& axis) {
+  std::vector<ScenarioAxisPoint> expanded;
+  expanded.reserve(axis.size());
+  for (const ServingAxisPoint& serving : axis) {
+    ScenarioAxisPoint point = base;
+    point.label = base.label + "-" + serving.label;
+    for (const auto& [key, value] : serving.params.values()) {
+      point.serving_params.Set(key, value);
+    }
+    for (const auto& [key, value] : serving.params.strings()) {
+      point.serving_params.Set(key, value);
+    }
+    expanded.push_back(std::move(point));
+  }
+  return expanded;
+}
+
 SweepGrid& SweepGrid::AddScenario(ScenarioAxisPoint point) {
   scenarios_.push_back(std::move(point));
   return *this;
@@ -173,6 +191,11 @@ Result<api::Scenario> SweepGrid::BuildScenario(const SweepCell& cell) const {
                           !scenario.fault_params.strings().empty();
   if (has_faults) {
     builder.Faults(scenario.fault_params);
+  }
+  const bool has_serving = !scenario.serving_params.values().empty() ||
+                           !scenario.serving_params.strings().empty();
+  if (has_serving) {
+    builder.Serving(scenario.serving_params);
   }
   return builder.Build();
 }

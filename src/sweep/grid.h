@@ -27,6 +27,10 @@ struct ScenarioAxisPoint {
   /// Failure-model keys of api/faults.h (`mtbf`, `straggler`, `recovery`,
   /// ...); the empty bag keeps the cell fault-free.
   api::ModelParams fault_params;
+  /// Serving keys of api/serving.h (`qps`, `batch_max`, `cache`,
+  /// `hit_rate`, `replicas`, ...); the empty bag keeps the cell
+  /// serving-free.
+  api::ModelParams serving_params;
   int supersteps = 1;
   /// Calibration coefficients baked into the built scenario
   /// (`Scenario::Builder::WithCalibration`); both 1.0 = the a-priori model.
@@ -74,6 +78,22 @@ struct FaultAxisPoint {
 /// MTBF/straggler grid sweeps of the failure tour are this product.
 std::vector<ScenarioAxisPoint> ExpandFaultAxis(
     const ScenarioAxisPoint& base, const std::vector<FaultAxisPoint>& axis);
+
+/// One point on a SERVING ablation axis: a label plus the serving keys of
+/// api/serving.h (`qps`, `batch_max`, `cache`, `hit_rate`, `replicas`,
+/// ...). An empty bag is a serving-free cell.
+struct ServingAxisPoint {
+  std::string label;
+  api::ModelParams params;
+};
+
+/// Expands `base` into one scenario point per serving configuration: each
+/// copy is labeled "<base label>-<serving label>" and has the serving keys
+/// merged into its serving params (keys already present in `base` are
+/// overridden). The batching/cache/replica grid sweeps of the serving tour
+/// are this product.
+std::vector<ScenarioAxisPoint> ExpandServingAxis(
+    const ScenarioAxisPoint& base, const std::vector<ServingAxisPoint>& axis);
 
 /// One point on the hardware axis: a named cluster (node, link, max_nodes,
 /// shared_memory), typically from `api::presets`.

@@ -31,6 +31,22 @@ std::string OptionalCell(const std::optional<double>& value, int digits) {
   return FormatDouble(*value, digits);
 }
 
+std::string ServingUtilizationCell(const api::AnalysisReport& report) {
+  if (!report.serving.has_value()) return "";
+  return FormatDouble(report.serving->utilization, 4);
+}
+
+std::string ServingLatencyCell(const api::AnalysisReport& report) {
+  if (!report.serving.has_value()) return "";
+  return FormatDouble(report.serving->quantile_latency_s, 6);
+}
+
+std::string ServingMaxQpsCell(const api::AnalysisReport& report) {
+  if (!report.serving_max_qps_answer.has_value()) return "";
+  const api::ServingRateAnswer& answer = *report.serving_max_qps_answer;
+  return answer.achievable ? FormatDouble(answer.qps, 6) : "n/a";
+}
+
 // Efficiency at the curve's optimum, via the curve's own definition so the
 // sweep emitters can never drift from core::SpeedupCurve::Efficiency().
 double PeakEfficiency(const api::AnalysisReport& report) {
@@ -71,7 +87,8 @@ std::string SweepReport::ToCsv() const {
                  "t_ref_s", "optimal_nodes", "first_local_peak",
                  "peak_speedup", "peak_efficiency", "scalable", "q1_nodes",
                  "q2_nodes", "mape_pct", "measured_mape_pct", "availability",
-                 "expected_slowdown"});
+                 "expected_slowdown", "serving_utilization",
+                 "serving_quantile_latency_s", "q3_replicas", "q3_max_qps"});
   for (const SweepCellResult& cell : cells) {
     std::vector<std::string> row{std::to_string(cell.index),
                                  cell.scenario_label, cell.hardware_label,
@@ -88,14 +105,17 @@ std::string SweepReport::ToCsv() const {
                   r.scalable ? "yes" : "no", PlannerCell(r.speedup_answer),
                   PlannerCell(r.growth_answer), MapeCell(r),
                   MeasuredMapeCell(r), OptionalCell(r.availability, 4),
-                  OptionalCell(r.expected_slowdown, 4)});
+                  OptionalCell(r.expected_slowdown, 4),
+                  ServingUtilizationCell(r), ServingLatencyCell(r),
+                  PlannerCell(r.serving_replicas_answer),
+                  ServingMaxQpsCell(r)});
     } else {
       std::string status = cell.status.ToString();
       if (cell.attempts > 1) {
         status += " (attempts=" + std::to_string(cell.attempts) + ")";
       }
       row.insert(row.end(), {std::move(status), "", "", "", "", "", "", "",
-                             "", "", "", "", ""});
+                             "", "", "", "", "", "", "", "", ""});
     }
     csv.AddRow(std::move(row));
   }

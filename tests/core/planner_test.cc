@@ -4,6 +4,8 @@
 
 #include <cmath>
 
+#include "core/queueing.h"
+
 namespace dmlscale::core {
 namespace {
 
@@ -119,6 +121,91 @@ TEST(CapacityPlannerTest, GrowthOfOneIsCurrentNodes) {
   auto n = planner.NodesForWorkloadGrowth(5, 1.0);
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(n.value(), 5);
+}
+
+// Synthetic serving latency: M/M/k mean sojourn at 10 ms service, as a
+// stand-in for the Erlang/DES-backed fns the api layer supplies. Saturated
+// points error like the real ones do.
+Result<double> SyntheticServingLatency(int replicas, double qps) {
+  const double mu = 100.0;  // 10 ms per request per replica
+  DMLSCALE_ASSIGN_OR_RETURN(MmkMetrics m, AnalyzeMmk(replicas, qps, mu));
+  return m.mean_sojourn_s;
+}
+
+TEST(CapacityPlannerTest, Q3ReplicasForQpsFindsTheBoundary) {
+  // 450 qps at mu = 100/s saturates below 5 replicas; demand a 15 ms mean.
+  auto n = CapacityPlanner::ReplicasForQps(SyntheticServingLatency, 450.0,
+                                           0.015, 1024);
+  ASSERT_TRUE(n.ok());
+  // The answer is feasible and the count below it is not.
+  EXPECT_LE(SyntheticServingLatency(n.value(), 450.0).value(), 0.015);
+  Result<double> below = SyntheticServingLatency(n.value() - 1, 450.0);
+  EXPECT_TRUE(!below.ok() || below.value() > 0.015);
+}
+
+TEST(CapacityPlannerTest, Q3ReplicasForQpsMatchesLinearScan) {
+  // The doubling/binary search must agree with the obvious linear scan.
+  for (double qps : {50.0, 450.0, 2000.0}) {
+    auto fast =
+        CapacityPlanner::ReplicasForQps(SyntheticServingLatency, qps, 0.02,
+                                        256);
+    int slow = -1;
+    for (int r = 1; r <= 256; ++r) {
+      Result<double> latency = SyntheticServingLatency(r, qps);
+      if (latency.ok() && latency.value() <= 0.02) {
+        slow = r;
+        break;
+      }
+    }
+    ASSERT_TRUE(fast.ok()) << "qps=" << qps;
+    EXPECT_EQ(fast.value(), slow) << "qps=" << qps;
+  }
+}
+
+TEST(CapacityPlannerTest, Q3ReplicasForQpsUnreachableIsNotFound) {
+  // A 1 ms target is below the bare 10 ms service time: no replica count
+  // can ever meet it.
+  auto n = CapacityPlanner::ReplicasForQps(SyntheticServingLatency, 100.0,
+                                           0.001, 4096);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(
+      CapacityPlanner::ReplicasForQps(SyntheticServingLatency, -1.0, 0.02, 8)
+          .ok());
+  EXPECT_FALSE(
+      CapacityPlanner::ReplicasForQps(SyntheticServingLatency, 1.0, 0.0, 8)
+          .ok());
+}
+
+TEST(CapacityPlannerTest, Q3MaxSustainableQpsSitsOnTheTarget) {
+  // 8 replicas, 20 ms target: the bisected rate meets the target and a
+  // 1% higher rate misses it (the boundary is sharp).
+  auto qps = CapacityPlanner::MaxSustainableQps(SyntheticServingLatency, 8,
+                                                0.02, 10000.0);
+  ASSERT_TRUE(qps.ok());
+  EXPECT_LE(SyntheticServingLatency(8, qps.value()).value(), 0.02);
+  Result<double> above = SyntheticServingLatency(8, qps.value() * 1.01);
+  EXPECT_TRUE(!above.ok() || above.value() > 0.02);
+}
+
+TEST(CapacityPlannerTest, Q3MaxSustainableQpsClampsAndFails) {
+  // A loose 1 s target: the whole probed range is feasible, so the cap
+  // itself comes back.
+  auto easy = CapacityPlanner::MaxSustainableQps(SyntheticServingLatency, 4,
+                                                 1.0, 300.0);
+  ASSERT_TRUE(easy.ok());
+  EXPECT_EQ(easy.value(), 300.0);
+  // A target under the bare service time fails outright.
+  auto impossible = CapacityPlanner::MaxSustainableQps(SyntheticServingLatency,
+                                                       4, 0.001, 300.0);
+  ASSERT_FALSE(impossible.ok());
+  EXPECT_EQ(impossible.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(
+      CapacityPlanner::MaxSustainableQps(SyntheticServingLatency, 0, 0.02, 1.0)
+          .ok());
+  EXPECT_FALSE(
+      CapacityPlanner::MaxSustainableQps(SyntheticServingLatency, 4, 0.02, 0.0)
+          .ok());
 }
 
 }  // namespace

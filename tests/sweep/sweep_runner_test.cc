@@ -154,7 +154,8 @@ TEST(SweepRunnerTest, CsvHasHeaderRowPerCellAndMapeOnlyForSimCells) {
             "cell,scenario,hardware,options,comm,status,t_ref_s,optimal_nodes,"
             "first_local_peak,peak_speedup,peak_efficiency,scalable,"
             "q1_nodes,q2_nodes,mape_pct,measured_mape_pct,availability,"
-            "expected_slowdown");
+            "expected_slowdown,serving_utilization,serving_quantile_latency_s,"
+            "q3_replicas,q3_max_qps");
   size_t rows = 0;
   for (char c : csv) rows += (c == '\n');
   EXPECT_EQ(rows, 13u);  // header + 12 cells
